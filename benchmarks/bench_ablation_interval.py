@@ -1,0 +1,93 @@
+"""Ablation A2 — checkpoint-interval sweep vs. Young/Daly optimum.
+
+The paper frames ESRP as checkpoint-restart with a tunable interval T
+and cites Young [28] / Daly [8] for choosing it.  This bench sweeps T
+under an MTBF-driven Poisson failure schedule, measures the median
+total overhead per T, and compares the empirical sweet spot with the
+analytic optimum computed from the measured per-stage storage cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import is_quick, write_artifact
+
+import repro
+from repro.core.interval import expected_waste_fraction, optimal_interval_iterations
+from repro.events import EventKind
+from repro.harness.calibration import BENCH_COST_MODEL
+
+N_NODES = 8
+PHI = 2
+INTERVALS = (3, 5, 10, 20, 40, 80, 160)
+REPS = 3
+
+
+def run_sweep():
+    scale = "tiny" if is_quick() else "small"
+    matrix, b, _ = repro.matrices.load("emilia_923_like", scale=scale)
+    reference = repro.solve(
+        matrix, b, n_nodes=N_NODES, strategy="reference", cost_model=BENCH_COST_MODEL
+    )
+    C, t0 = reference.iterations, reference.modeled_time
+    mtbf_iterations = max(C // 3, 30)
+
+    rows = []
+    for T in INTERVALS:
+        totals = []
+        for rep in range(REPS):
+            schedule = repro.poisson_schedule(
+                mtbf_iterations=mtbf_iterations,
+                horizon=C,
+                width=PHI,
+                n_nodes=N_NODES,
+                seed=101 + rep,
+                min_gap=max(T, 8),
+            )
+            result = repro.solve(
+                matrix, b, n_nodes=N_NODES, strategy="esrp", T=T, phi=PHI,
+                failures=schedule, cost_model=BENCH_COST_MODEL,
+            )
+            assert result.converged
+            totals.append((result.modeled_time - t0) / t0)
+        rows.append((T, float(np.median(totals))))
+
+    # measured per-stage storage cost for the analytic optimum
+    esrp_ff = repro.solve(
+        matrix, b, n_nodes=N_NODES, strategy="esrp", T=20, phi=PHI,
+        cost_model=BENCH_COST_MODEL,
+    )
+    stages = len(esrp_ff.events.of_kind(EventKind.STORAGE_STAGE)) / 2
+    delta = (esrp_ff.modeled_time - t0) / max(stages, 1)
+    seconds_per_iteration = t0 / C
+    t_opt = optimal_interval_iterations(
+        delta, mtbf_iterations * seconds_per_iteration, seconds_per_iteration
+    )
+    return rows, t_opt, delta, mtbf_iterations, seconds_per_iteration
+
+
+def test_ablation_checkpoint_interval(benchmark):
+    rows, t_opt, delta, mtbf_iters, spi = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    lines = [
+        "Ablation A2: ESRP total overhead vs storage interval T "
+        f"(Poisson failures, MTBF = {mtbf_iters} iterations, phi = {PHI})",
+        "",
+        f"{'T':>5s} {'median overhead':>16s} {'analytic waste d/T + T/2M':>26s}",
+        "-" * 52,
+    ]
+    for T, overhead in rows:
+        analytic = expected_waste_fraction(T * spi, delta, mtbf_iters * spi)
+        lines.append(f"{T:>5d} {100 * overhead:>15.2f}% {100 * analytic:>25.2f}%")
+    lines.append("")
+    lines.append(f"Daly-optimal interval from measured stage cost: T* = {t_opt}")
+    table = "\n".join(lines)
+    print("\n" + table)
+    write_artifact("ablation_a2_interval.txt", table)
+
+    # shape: the overhead curve is U-ish — the ends are worse than the best
+    overheads = dict(rows)
+    best_T = min(overheads, key=overheads.get)
+    assert overheads[min(INTERVALS)] >= overheads[best_T]
+    assert overheads[max(INTERVALS)] >= overheads[best_T]

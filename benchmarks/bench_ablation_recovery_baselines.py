@@ -1,0 +1,74 @@
+"""Ablation A3 — recovery quality: exact vs. approximate methods.
+
+Compares ESR's exact state reconstruction against the related-work
+baselines the paper discusses (§1.3): Langou-style linear interpolation
+[15], Agullo-style least squares [1], and a full restart.  Metrics:
+total iterations to convergence after an identical mid-solve failure,
+extra iterations vs. the undisturbed run, and the residual jump right
+after recovery.
+"""
+
+from __future__ import annotations
+
+from conftest import is_quick, write_artifact
+
+import repro
+from repro.harness.calibration import BENCH_COST_MODEL
+
+N_NODES = 8
+METHODS = (
+    ("ESR (exact)", "esr"),
+    ("linear interpolation", "linear_interpolation"),
+    ("least squares", "least_squares"),
+    ("full restart", "full_restart"),
+)
+
+
+def run_comparison():
+    scale = "tiny" if is_quick() else "small"
+    matrix, b, _ = repro.matrices.load("emilia_923_like", scale=scale)
+    reference = repro.solve(
+        matrix, b, n_nodes=N_NODES, strategy="reference", cost_model=BENCH_COST_MODEL
+    )
+    j_fail = reference.iterations // 2
+    failure = repro.FailureEvent(j_fail, (2, 3))
+    rows = []
+    for label, strategy in METHODS:
+        result = repro.solve(
+            matrix, b, n_nodes=N_NODES, strategy=strategy, phi=2,
+            failures=[failure], cost_model=BENCH_COST_MODEL,
+        )
+        assert result.converged, label
+        history = result.residual_history
+        jump = history[j_fail] / history[j_fail - 1] if j_fail < len(history) else 1.0
+        rows.append(
+            (
+                label,
+                result.iterations,
+                result.iterations - reference.iterations,
+                jump,
+            )
+        )
+    return reference.iterations, j_fail, rows
+
+
+def test_ablation_recovery_baselines(benchmark):
+    C, j_fail, rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    lines = [
+        f"Ablation A3: recovery quality after a 2-node failure at iteration {j_fail} "
+        f"(undisturbed C = {C})",
+        "",
+        f"{'method':22s} {'iterations':>10s} {'extra':>7s} {'residual jump':>14s}",
+        "-" * 60,
+    ]
+    for label, iters, extra, jump in rows:
+        lines.append(f"{label:22s} {iters:>10d} {extra:>+7d} {jump:>13.2f}x")
+    table = "\n".join(lines)
+    print("\n" + table)
+    write_artifact("ablation_a3_recovery_baselines.txt", table)
+
+    by_label = {label: extra for label, _i, extra, _j in rows}
+    assert by_label["ESR (exact)"] == 0, "exact reconstruction must waste nothing"
+    assert by_label["full restart"] >= by_label["linear interpolation"]
+    assert by_label["linear interpolation"] > 0
+    assert by_label["least squares"] > 0

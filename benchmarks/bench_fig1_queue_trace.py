@@ -1,0 +1,56 @@
+"""Figure 1 — redundancy-queue evolution during the solution process.
+
+Runs a real ESRP solve with a small interval and renders the queue
+state at every storage push, exactly mirroring the paper's Fig. 1:
+``[_, _, p'(T)]`` after the first push, ``[_, p'(T), p'(T+1)]`` after
+the stage completes (recovery point T+1), eviction of ``p'(T)`` only at
+``2T+1``, and so on.
+"""
+
+from __future__ import annotations
+
+import re
+
+from conftest import write_artifact
+
+import repro
+from repro.events import EventKind
+from repro.harness import render_queue_trace
+
+T = 10
+
+
+def run_trace():
+    matrix, b, _meta = repro.matrices.load("emilia_923_like", scale="tiny")
+    result = repro.solve(matrix, b, n_nodes=4, strategy="esrp", T=T, phi=1)
+    return result
+
+
+def test_fig1_queue_evolution(benchmark):
+    result = benchmark.pedantic(run_trace, rounds=1, iterations=1)
+    text = render_queue_trace(result.events, T=T)
+    print("\n" + text)
+    write_artifact("fig1_queue_trace.txt", text)
+
+    stages = result.events.of_kind(EventKind.STORAGE_STAGE)
+    by_iteration = {e.iteration: e.detail for e in stages}
+
+    # Fig. 1 checkpoints, transcribed for T = 10:
+    assert by_iteration[T]["queue"] == f"[_, _, p'({T})]"
+    assert by_iteration[T + 1]["queue"] == f"[_, p'({T}), p'({T + 1})]"
+    assert by_iteration[T + 1]["recovery_point"] == T + 1
+    assert by_iteration[2 * T]["queue"] == f"[p'({T}), p'({T + 1}), p'({2 * T})]"
+    assert (
+        by_iteration[2 * T + 1]["queue"]
+        == f"[p'({T + 1}), p'({2 * T}), p'({2 * T + 1})]"
+    )
+    assert by_iteration[2 * T + 1]["recovery_point"] == 2 * T + 1
+
+    # every complete stage is at an iteration j with (j-1) % T == 0
+    completions = [
+        e.iteration for e in stages if e.detail["phase"] == "complete"
+    ]
+    assert completions and all((j - 1) % T == 0 for j in completions)
+
+    # the rendered trace shows the leftward rollback arrows' targets
+    assert re.search(rf"recovery point {T + 1}\b", text)

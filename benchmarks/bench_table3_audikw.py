@@ -1,0 +1,52 @@
+"""Table 3 — audikw_1(-like): runtime overheads of ESRP/ESR/IMCR.
+
+Same constellation as Table 2 on the denser vector-valued problem; the
+additional expectation specific to Table 3 is that the denser rows make
+the *relative* ASpMV overhead milder than the checkpoint traffic, so
+failure-free ESRP and IMCR are closer together than on Emilia.
+"""
+
+from __future__ import annotations
+
+from bench_table2_emilia import assert_table_shape
+from conftest import write_artifact
+
+from repro.harness import PAPER_TABLE3, render_overhead_table
+
+
+def test_table3_audikw(benchmark, audikw_grid):
+    runner, results = audikw_grid
+
+    def regenerate():
+        return render_overhead_table(
+            results,
+            phis=runner.config.phis,
+            locations=runner.config.locations,
+            title="Table 3: Results for matrix audikw_1-like "
+            f"(scale={runner.config.scale}, N={runner.config.n_nodes})",
+            paper=PAPER_TABLE3,
+        )
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + table)
+    notes = assert_table_shape(
+        results,
+        runner.config.phis,
+        runner.config.esrp_intervals,
+        runner.config.imcr_intervals,
+    )
+    print("\nshape checks passed:\n  " + "\n  ".join(notes))
+    write_artifact("table3_audikw.txt", table)
+
+
+def test_iteration_count_ratio_matches_paper(benchmark, emilia_grid, audikw_grid):
+    """Paper: C(audikw) / C(Emilia) = 5543 / 10279 ≈ 0.54."""
+    _, emilia = emilia_grid
+    _, audikw = audikw_grid
+
+    def ratio():
+        return audikw["C"] / emilia["C"]
+
+    value = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    print(f"\nC(audikw-like)/C(emilia-like) = {value:.2f} (paper: 0.54)")
+    assert 0.25 < value < 0.9

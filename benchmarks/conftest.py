@@ -1,0 +1,69 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The expensive experiment grids (Tables 2/3) are computed once per
+session and shared by the table, drift and figure benches.  Every bench
+writes its rendered output under ``results/`` so EXPERIMENTS.md can
+reference the artefacts.
+
+Environment knobs (see also repro.harness.config):
+
+* ``REPRO_QUICK=1``  — small problems, fewer cells (CI / iteration mode)
+* ``REPRO_SCALE``    — matrix scale tier override
+* ``REPRO_NODES``    — cluster size override
+* ``REPRO_REPS``     — repetitions per cell
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import paper_table_config
+from repro.harness.runner import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+QUICK = os.environ.get("REPRO_QUICK", "0") not in ("0", "", "false")
+
+
+def is_quick() -> bool:
+    return QUICK
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+class _GridCache:
+    """Session-wide cache of full experiment grids per problem."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, tuple[ExperimentRunner, dict]] = {}
+
+    def get(self, problem: str) -> tuple[ExperimentRunner, dict]:
+        if problem not in self._cache:
+            config = paper_table_config(problem, quick=QUICK)
+            runner = ExperimentRunner(config)
+            results = runner.run_table()
+            self._cache[problem] = (runner, results)
+        return self._cache[problem]
+
+
+@pytest.fixture(scope="session")
+def grid_cache() -> _GridCache:
+    return _GridCache()
+
+
+@pytest.fixture(scope="session")
+def emilia_grid(grid_cache):
+    return grid_cache.get("emilia_923_like")
+
+
+@pytest.fixture(scope="session")
+def audikw_grid(grid_cache):
+    return grid_cache.get("audikw_1_like")

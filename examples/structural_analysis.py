@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Structural analysis (audikw_1-like) under multiple failure events.
+
+The audikw_1 regime: a vector-valued (3 dofs/point) stiffness system
+with dense rows and heavy halos.  We solve it with ESRP while *two
+separate* multi-node failure events strike during the run — the
+scenario where the paper's periodic storage pays off most (§1.4: the
+overhead reduction "is particularly beneficial in scenarios with
+multiple node failures").
+
+Run:  python examples/structural_analysis.py
+"""
+
+import numpy as np
+
+import repro
+
+N_NODES = 8
+PHI = 3
+
+
+def main() -> None:
+    matrix, b, meta = repro.matrices.load("audikw_1_like", scale="small")
+    print(f"problem: {meta.name} (stand-in for {meta.paper['paper_matrix']})")
+    print(f"  n = {meta.n} ({meta.dofs_per_point} dofs/point), "
+          f"{meta.nnz_per_row:.1f} nnz/row")
+
+    reference = repro.solve(matrix, b, n_nodes=N_NODES, strategy="reference")
+    t0 = reference.modeled_time
+    print(f"reference: C = {reference.iterations}, t0 = {t0 * 1e3:.2f} ms\n")
+
+    third = reference.iterations // 3
+    events = [
+        repro.FailureEvent(iteration=third, ranks=(0, 1, 2)),      # switch A
+        repro.FailureEvent(iteration=2 * third, ranks=(4, 5, 6)),  # switch B
+    ]
+    print("failure scenario: two separate 3-node block failures "
+          f"(iterations {events[0].iteration} and {events[1].iteration})\n")
+
+    print(f"{'strategy':14s} {'total ovh':>10s} {'recon ovh':>10s} "
+          f"{'wasted':>7s} {'|dx|/|x|':>10s}")
+    for label, name, T in [
+        ("ESR   (T=1)", "esr", 1),
+        ("ESRP  (T=20)", "esrp", 20),
+        ("ESRP  (T=50)", "esrp", 50),
+        ("IMCR  (T=20)", "imcr", 20),
+        ("IMCR  (T=50)", "imcr", 50),
+    ]:
+        result = repro.solve(
+            matrix, b, n_nodes=N_NODES, strategy=name, T=T, phi=PHI,
+            failures=events,
+        )
+        assert result.converged, label
+        error = np.linalg.norm(result.x - reference.x) / np.linalg.norm(reference.x)
+        print(
+            f"{label:14s} {100 * (result.modeled_time - t0) / t0:9.2f}% "
+            f"{100 * result.recovery_time / t0:9.2f}% "
+            f"{result.wasted_iterations:7d} {error:10.2e}"
+        )
+
+    print("\nall strategies survive both events and reproduce the reference")
+    print("solution.  At this toy scale each event kills 3 of 8 nodes, so the")
+    print("inner reconstruction system spans ~40% of the domain and dominates")
+    print("the ESR/ESRP overhead — the cost scales like (psi/N)^2, which is")
+    print("why the paper's 128-node runs (psi/N <= 6%) see only a few percent.")
+    print("IMCR's recovery is a single buddy transfer regardless of size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works on machines
+without the ``wheel`` package (e.g. air-gapped environments); all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,192 @@
+"""repro — Algorithm-Based Checkpoint-Recovery for the Conjugate Gradient Method.
+
+A production-quality reproduction of Pachajoa, Pacher, Levonyak &
+Gansterer, *"Algorithm-Based Checkpoint-Recovery for the Conjugate
+Gradient Method"*, ICPP 2020 (DOI 10.1145/3404397.3404438):
+
+* a simulated distributed-memory cluster with node failures and an
+  α/β/γ cost model (:mod:`repro.cluster`),
+* block-row distributed sparse linear algebra with an explicit SpMV
+  halo exchange and the paper's *augmented* SpMV (:mod:`repro.distribution`),
+* resilient preconditioned CG with pluggable recovery strategies —
+  ESR, ESRP (the paper's contribution), in-memory buddy CR, and
+  approximate-recovery baselines (:mod:`repro.solvers`, :mod:`repro.core`),
+* the experiment harness that regenerates every table and figure of the
+  paper's evaluation (:mod:`repro.harness`).
+
+Quickstart::
+
+    import repro
+    A, b, meta = repro.matrices.load("emilia_923_like", scale="small")
+    result = repro.solve(
+        A, b, n_nodes=8, strategy="esrp", T=20, phi=2,
+        failures=[repro.FailureEvent(iteration=50, ranks=(0, 1))],
+    )
+    print(result.iterations, result.modeled_time, result.converged)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import cluster, core, distribution, harness, matrices, preconditioners, solvers
+from .cluster import (
+    CostModel,
+    FailureEvent,
+    FailureSchedule,
+    FatTree,
+    Ring,
+    VirtualCluster,
+    block_failure_ranks,
+    poisson_schedule,
+)
+from .distribution import (
+    ASpMVExecutor,
+    BlockRowPartition,
+    DistributedMatrix,
+    DistributedVector,
+    SpMVExecutor,
+)
+from .events import Event, EventKind, EventLog
+from .exceptions import (
+    ClusterError,
+    ConfigurationError,
+    ConvergenceError,
+    DeadNodeError,
+    IrrecoverableDataLossError,
+    NodeFailureError,
+    PartitionError,
+    ReconstructionUnsupportedError,
+    RecoveryError,
+    ReproError,
+)
+from .core import (
+    ESRPStrategy,
+    ESRStrategy,
+    IMCRStrategy,
+    RedundancyQueue,
+    make_strategy,
+    solve_without_spares,
+)
+from .preconditioners import Preconditioner, make_preconditioner
+from .solvers import PCGEngine, SolveOptions, SolveResult, solve_reference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASpMVExecutor",
+    "BlockRowPartition",
+    "ClusterError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "CostModel",
+    "DeadNodeError",
+    "DistributedMatrix",
+    "DistributedVector",
+    "ESRPStrategy",
+    "ESRStrategy",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "FailureEvent",
+    "FailureSchedule",
+    "FatTree",
+    "IMCRStrategy",
+    "IrrecoverableDataLossError",
+    "NodeFailureError",
+    "PCGEngine",
+    "PartitionError",
+    "Preconditioner",
+    "ReconstructionUnsupportedError",
+    "RecoveryError",
+    "RedundancyQueue",
+    "ReproError",
+    "Ring",
+    "SolveOptions",
+    "SolveResult",
+    "SpMVExecutor",
+    "VirtualCluster",
+    "block_failure_ranks",
+    "cluster",
+    "core",
+    "distribution",
+    "harness",
+    "make_preconditioner",
+    "make_strategy",
+    "matrices",
+    "poisson_schedule",
+    "preconditioners",
+    "solve",
+    "solve_reference",
+    "solve_without_spares",
+    "solvers",
+]
+
+
+def solve(
+    matrix,
+    b: np.ndarray,
+    n_nodes: int = 8,
+    strategy: str = "esrp",
+    T: int = 20,
+    phi: int = 1,
+    preconditioner: str = "block_jacobi",
+    rtol: float = 1e-8,
+    maxiter: int | None = None,
+    failures=None,
+    cluster: VirtualCluster | None = None,
+    cost_model: CostModel | None = None,
+    seed: int | None = 0,
+    rule: str = "paper",
+    destinations: str = "eq1",
+    **precond_kwargs,
+) -> SolveResult:
+    """One-call convenience API: solve ``A x = b`` resiliently.
+
+    Parameters
+    ----------
+    matrix:
+        Square SPD matrix (anything :mod:`scipy.sparse` accepts).
+    b:
+        Right-hand side vector.
+    n_nodes:
+        Number of virtual cluster nodes (ignored if ``cluster`` given).
+    strategy:
+        ``"reference"``, ``"esr"``, ``"esrp"``, ``"imcr"``,
+        ``"full_restart"``, ``"linear_interpolation"``,
+        ``"least_squares"`` (see :func:`repro.core.make_strategy`).
+    T, phi:
+        Checkpoint/storage interval and redundancy count.
+    preconditioner:
+        Name for :func:`repro.preconditioners.make_preconditioner`;
+        extra keyword arguments are forwarded to it.
+    failures:
+        ``FailureSchedule`` or iterable of ``FailureEvent``.
+    cluster:
+        Reuse an existing :class:`VirtualCluster` (clock/stats continue).
+    cost_model, seed:
+        Machine model and noise seed for a freshly created cluster.
+    rule:
+        ASpMV extra-entry selection rule (``"paper"`` or ``"greedy"``).
+    """
+    if cluster is None:
+        cluster = VirtualCluster(n_nodes, cost_model=cost_model, seed=seed)
+    partition = BlockRowPartition.uniform(matrix.shape[0], cluster.n_nodes)
+    dist_matrix = DistributedMatrix(cluster, partition, matrix)
+    precond = make_preconditioner(preconditioner, **precond_kwargs)
+    strat = make_strategy(strategy, T=T, phi=phi, rule=rule, destinations=destinations)
+    if failures is None:
+        schedule = FailureSchedule()
+    elif isinstance(failures, FailureSchedule):
+        schedule = failures
+    else:
+        schedule = FailureSchedule(list(failures))
+    engine = PCGEngine(
+        matrix=dist_matrix,
+        b=b,
+        preconditioner=precond,
+        strategy=strat,
+        options=SolveOptions(rtol=rtol, maxiter=maxiter),
+        failures=schedule,
+    )
+    return engine.solve()

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Run one resilient PCG solve on a built-in problem (or a local
+    MatrixMarket file) with an optional injected failure, and print the
+    outcome summary.
+``experiment``
+    Run the paper's Table-2/3 experiment grid for one problem and print
+    the rendered table (quick mode by default from the CLI).
+``info``
+    List available problems, strategies and preconditioners.
+
+Examples::
+
+    python -m repro solve --problem emilia_923_like --scale tiny \
+        --strategy esrp -T 10 --phi 2 --fail 40:0,1
+    python -m repro experiment --problem emilia_923_like --quick
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from . import FailureEvent, __version__, solve
+from .core.strategies import STRATEGY_NAMES
+from .events import EventKind
+from .exceptions import ConfigurationError, ReproError
+from .matrices import available_problems, available_scales, read_matrix_market, suite
+from .preconditioners import available_preconditioners
+
+
+def _parse_failure(spec: str) -> FailureEvent:
+    """Parse ``ITERATION:RANK[,RANK...]`` into a failure event."""
+    try:
+        iteration_part, ranks_part = spec.split(":", 1)
+        iteration = int(iteration_part)
+        ranks = tuple(int(r) for r in ranks_part.split(",") if r != "")
+        return FailureEvent(iteration, ranks)
+    except (ValueError, ConfigurationError) as exc:
+        raise ConfigurationError(
+            f"invalid --fail spec {spec!r} (expected ITER:RANK[,RANK...]): {exc}"
+        ) from exc
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Algorithm-based checkpoint-recovery for PCG (ICPP 2020 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve_cmd = commands.add_parser("solve", help="run one resilient solve")
+    solve_cmd.add_argument("--problem", default="emilia_923_like",
+                           choices=available_problems())
+    solve_cmd.add_argument("--scale", default="small", choices=available_scales())
+    solve_cmd.add_argument("--matrix-file", default=None,
+                           help="MatrixMarket file (overrides --problem)")
+    solve_cmd.add_argument("--nodes", type=int, default=8)
+    solve_cmd.add_argument("--strategy", default="esrp",
+                           choices=STRATEGY_NAMES)
+    solve_cmd.add_argument("-T", "--interval", type=int, default=20,
+                           help="checkpoint/storage interval")
+    solve_cmd.add_argument("--phi", type=int, default=1,
+                           help="redundant copies / tolerated failures")
+    solve_cmd.add_argument("--preconditioner", default="block_jacobi",
+                           choices=available_preconditioners())
+    solve_cmd.add_argument("--rtol", type=float, default=1e-8)
+    solve_cmd.add_argument("--fail", action="append", default=[],
+                           metavar="ITER:RANKS",
+                           help="inject a failure, e.g. 500:0,1,2 (repeatable)")
+    solve_cmd.add_argument("--seed", type=int, default=0)
+    solve_cmd.add_argument("--events", action="store_true",
+                           help="print the full event timeline")
+
+    exp_cmd = commands.add_parser("experiment", help="run a paper table grid")
+    exp_cmd.add_argument("--problem", default="emilia_923_like",
+                         choices=available_problems())
+    exp_cmd.add_argument("--quick", action="store_true", default=True)
+    exp_cmd.add_argument("--full", dest="quick", action="store_false",
+                         help="full paper constellation (slow)")
+
+    commands.add_parser("info", help="list problems/strategies/preconditioners")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.matrix_file:
+        matrix = read_matrix_market(args.matrix_file)
+        rng = np.random.default_rng(args.seed)
+        b = matrix @ rng.standard_normal(matrix.shape[0])
+        label = args.matrix_file
+    else:
+        matrix, b, meta = suite.load(args.problem, scale=args.scale)
+        label = f"{meta.name} (scale={meta.scale}, n={meta.n}, nnz={meta.nnz})"
+
+    failures = [_parse_failure(spec) for spec in args.fail]
+    result = solve(
+        matrix,
+        b,
+        n_nodes=args.nodes,
+        strategy=args.strategy,
+        T=args.interval,
+        phi=args.phi,
+        preconditioner=args.preconditioner,
+        rtol=args.rtol,
+        failures=failures,
+        seed=args.seed,
+    )
+    print(f"problem:            {label}")
+    print(f"strategy:           {result.strategy} (T={args.interval}, phi={args.phi})")
+    print(f"converged:          {result.converged}")
+    print(f"iterations:         {result.iterations} "
+          f"(+{result.wasted_iterations} re-executed)")
+    print(f"relative residual:  {result.relative_residual:.3e}")
+    print(f"modeled runtime:    {result.modeled_time * 1e3:.3f} ms")
+    print(f"recovery time:      {result.recovery_time * 1e3:.3f} ms")
+    print(f"wall time:          {result.wall_time:.3f} s")
+    failures_seen = result.events.of_kind(EventKind.NODE_FAILURE)
+    if failures_seen:
+        print(f"failures survived:  {len(failures_seen)}")
+    if args.events:
+        print("\nevent timeline:")
+        for event in result.events:
+            print(f"  t={event.time * 1e3:9.3f} ms  j={event.iteration:>6d}  "
+                  f"{event.kind.value:15s} {event.detail}")
+    return 0 if result.converged else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .harness import paper_table_config, render_overhead_table
+    from .harness.paper import PAPER_TABLE2, PAPER_TABLE3
+    from .harness.runner import ExperimentRunner
+
+    config = paper_table_config(args.problem, quick=args.quick)
+    print(f"running {args.problem} grid: scale={config.scale}, "
+          f"N={config.n_nodes}, reps={config.repetitions} ...", flush=True)
+    runner = ExperimentRunner(config)
+    results = runner.run_table()
+    paper = PAPER_TABLE2 if "emilia" in args.problem else PAPER_TABLE3
+    print(render_overhead_table(
+        results,
+        phis=config.phis,
+        locations=config.locations,
+        title=f"Overheads for {args.problem}",
+        paper=paper,
+    ))
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — ICPP 2020 ESRP reproduction")
+    print(f"problems:         {', '.join(available_problems())}")
+    print(f"scales:           {', '.join(available_scales())}")
+    print(f"strategies:       {', '.join(STRATEGY_NAMES)}")
+    print(f"preconditioners:  {', '.join(available_preconditioners())}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "info":
+            return _cmd_info(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

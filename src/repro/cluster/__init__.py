@@ -1,0 +1,44 @@
+"""Simulated distributed-memory cluster substrate (S1 in DESIGN.md).
+
+This package stands in for the MPI + unreliable-hardware layer of the
+paper's C framework: per-node memories that can be wiped by failures,
+point-to-point and collective communication with an α/β/γ cost model,
+fat-tree topology, per-channel traffic accounting, and failure-scenario
+generators.
+"""
+
+from .communicator import VirtualCluster
+from .cost_model import BYTES_PER_FLOAT, CostModel, VSC3_LIKE, zero_cost_model
+from .failures import (
+    FailureEvent,
+    FailureSchedule,
+    block_failure_ranks,
+    contiguous_ranks,
+    poisson_schedule,
+    switch_fault_ranks,
+)
+from .node import NodeState
+from .statistics import ChannelTotals, ClusterStats
+from .topology import FatTree, FullyConnected, Ring, Topology, make_topology
+
+__all__ = [
+    "BYTES_PER_FLOAT",
+    "ChannelTotals",
+    "ClusterStats",
+    "CostModel",
+    "FailureEvent",
+    "FailureSchedule",
+    "FatTree",
+    "FullyConnected",
+    "NodeState",
+    "Ring",
+    "Topology",
+    "VSC3_LIKE",
+    "VirtualCluster",
+    "block_failure_ranks",
+    "contiguous_ranks",
+    "make_topology",
+    "poisson_schedule",
+    "switch_fault_ranks",
+    "zero_cost_model",
+]

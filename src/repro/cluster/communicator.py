@@ -1,0 +1,294 @@
+"""The virtual cluster: N simulated nodes, clocks, accounting, failures.
+
+:class:`VirtualCluster` plays the role MPI plays in the paper's C
+framework.  It does **not** move data itself — the distribution layer
+(:mod:`repro.distribution`) performs the actual numpy transfers — but
+every transfer must be *declared* here so that:
+
+* per-node simulated clocks advance according to the
+  :class:`~repro.cluster.cost_model.CostModel` (this yields the
+  "runtime" the benchmarks report),
+* per-channel traffic statistics accumulate
+  (:class:`~repro.cluster.statistics.ClusterStats`),
+* failed nodes cannot be used (``DeadNodeError``), matching the MPI
+  reality that a message to a dead rank never completes.
+
+Clock semantics (a postal model):
+
+* ``compute(rank, flops)`` advances only that node's clock;
+* ``send(src, dst, nbytes)`` makes the sender busy for the message time
+  and the receiver's clock at least the sender's finish time (receive
+  completion);
+* collectives synchronise all alive clocks to the common finish time —
+  PCG's dot products are allreduces and act as barriers, which is what
+  makes "max over nodes" the right makespan notion here.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..exceptions import ClusterError, ConfigurationError, DeadNodeError
+from .cost_model import CostModel
+from .node import NodeState
+from .statistics import ClusterStats
+from .topology import FatTree, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..distribution.vector import DistributedVector
+
+
+class VirtualCluster:
+    """A simulated distributed-memory machine with unreliable nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        cost_model: CostModel | None = None,
+        topology: Topology | None = None,
+        seed: int | None = 0,
+    ):
+        if n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.topology = topology if topology is not None else FatTree(self.n_nodes)
+        if self.topology.n_nodes != self.n_nodes:
+            raise ConfigurationError(
+                f"topology is sized for {self.topology.n_nodes} nodes, cluster has {self.n_nodes}"
+            )
+        self.rng = np.random.default_rng(seed)
+        self.nodes = [NodeState(rank) for rank in range(self.n_nodes)]
+        self.clocks = np.zeros(self.n_nodes, dtype=np.float64)
+        self.stats = ClusterStats(self.n_nodes)
+        #: Vectors whose blocks must be wiped when a node fails.
+        self._registered_vectors: list[weakref.ReferenceType] = []
+
+    # ------------------------------------------------------------------ basics
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dead = [n.rank for n in self.nodes if not n.alive]
+        return f"VirtualCluster(n_nodes={self.n_nodes}, time={self.elapsed():.3e}s, dead={dead})"
+
+    def node(self, rank: int) -> NodeState:
+        """The :class:`NodeState` for ``rank`` (alive or not)."""
+        if not 0 <= rank < self.n_nodes:
+            raise ConfigurationError(f"rank {rank} outside [0, {self.n_nodes})")
+        return self.nodes[rank]
+
+    def require_alive(self, rank: int) -> NodeState:
+        node = self.node(rank)
+        if not node.alive:
+            raise DeadNodeError(f"rank {rank} is failed")
+        return node
+
+    def alive_ranks(self) -> tuple[int, ...]:
+        return tuple(n.rank for n in self.nodes if n.alive)
+
+    def dead_ranks(self) -> tuple[int, ...]:
+        return tuple(n.rank for n in self.nodes if not n.alive)
+
+    def elapsed(self) -> float:
+        """Simulated makespan so far (max over node clocks)."""
+        return float(self.clocks.max())
+
+    def reset_stats(self) -> None:
+        """Zero the traffic statistics (clocks are left untouched)."""
+        self.stats = ClusterStats(self.n_nodes)
+
+    # --------------------------------------------------------------- accounting
+
+    def _charge(self, seconds: float) -> float:
+        return self.cost_model.perturb(seconds, self.rng)
+
+    def compute(self, rank: int, flops: float) -> None:
+        """Charge ``flops`` of computation to ``rank``'s clock."""
+        self.require_alive(rank)
+        self.clocks[rank] += self._charge(self.cost_model.compute_time(flops))
+        self.stats.record_compute(rank, flops)
+
+    def memcpy(self, rank: int, nbytes: int) -> None:
+        """Charge a local memory copy to ``rank``'s clock."""
+        self.require_alive(rank)
+        self.clocks[rank] += self._charge(self.cost_model.memcpy_time(nbytes))
+        self.stats.record_local_copy(rank, nbytes)
+
+    def send(self, src: int, dst: int, nbytes: int, channel: str) -> None:
+        """Charge one point-to-point message ``src -> dst``."""
+        self.require_alive(src)
+        self.require_alive(dst)
+        if src == dst:
+            raise ClusterError(f"rank {src} cannot send to itself")
+        hops = self.topology.hops(src, dst)
+        cost = self._charge(self.cost_model.message_time(nbytes, hops))
+        self.clocks[src] += cost
+        self.clocks[dst] = max(self.clocks[dst], self.clocks[src])
+        self.stats.record_message(src, dst, nbytes, channel)
+
+    def piggyback(self, src: int, dst: int, nbytes: int, channel: str) -> None:
+        """Charge extra payload merged into an existing ``src -> dst`` message.
+
+        No start-up latency — models ASpMV extras riding on a natural
+        halo message ("ESR mainly adds on to existing communication").
+        """
+        self.require_alive(src)
+        self.require_alive(dst)
+        cost = self._charge(self.cost_model.payload_time(nbytes))
+        self.clocks[src] += cost
+        self.clocks[dst] = max(self.clocks[dst], self.clocks[src])
+        self.stats.record_payload(src, dst, nbytes, channel)
+
+    def exchange(
+        self,
+        messages: Iterable[tuple[int, int, int, str, bool]],
+        piggyback: Iterable[tuple[int, int, int, str]] = (),
+    ) -> None:
+        """Charge one *concurrent* communication phase.
+
+        ``messages``: ``(src, dst, nbytes, channel, ...)`` point-to-point
+        messages that all start simultaneously (an SpMV halo exchange, a
+        checkpoint round, a recovery gather).  ``piggyback``: extra
+        payload merged into one of those messages (no start-up latency).
+
+        Unlike chained :meth:`send` calls — where a receive pushes the
+        receiver's clock and its *own* subsequent sends start later,
+        serialising the whole phase across ranks — this models what MPI
+        actually does: every sender injects all its messages starting
+        from its clock at phase begin; a receiver resumes at
+        ``max(own finish, latest arrival)``.
+        """
+        send_time: dict[int, float] = {}
+        start: dict[int, float] = {}
+        arrivals: dict[int, list[tuple[int, float]]] = {}
+
+        def add(src: int, dst: int, nbytes: int, channel: str, merged: bool) -> None:
+            self.require_alive(src)
+            self.require_alive(dst)
+            if src == dst:
+                raise ClusterError(f"rank {src} cannot send to itself")
+            if merged:
+                cost = self.cost_model.payload_time(nbytes)
+                self.stats.record_payload(src, dst, nbytes, channel)
+            else:
+                hops = self.topology.hops(src, dst)
+                cost = self.cost_model.message_time(nbytes, hops)
+                self.stats.record_message(src, dst, nbytes, channel)
+            cost = self._charge(cost)
+            start.setdefault(src, float(self.clocks[src]))
+            send_time[src] = send_time.get(src, 0.0) + cost
+            arrivals.setdefault(dst, []).append((src, cost))
+
+        for src, dst, nbytes, channel, *rest in messages:
+            add(src, dst, nbytes, channel, bool(rest[0]) if rest else False)
+        for src, dst, nbytes, channel in piggyback:
+            add(src, dst, nbytes, channel, True)
+
+        # Senders finish all their injections.
+        for src, total in send_time.items():
+            self.clocks[src] = start[src] + total
+        # Receivers wait for the latest arrival (conservatively, a
+        # sender's messages all complete when its injection finishes).
+        for dst, sources in arrivals.items():
+            latest = max(start[src] + send_time[src] for src, _cost in sources)
+            self.clocks[dst] = max(self.clocks[dst], latest)
+
+    def allreduce(self, nbytes: int, ranks: Iterable[int] | None = None) -> None:
+        """Charge an allreduce across ``ranks`` (default: all alive nodes)."""
+        group = tuple(ranks) if ranks is not None else self.alive_ranks()
+        for rank in group:
+            self.require_alive(rank)
+        if len(group) <= 1:
+            return
+        cost = self._charge(self.cost_model.allreduce_time(nbytes, len(group)))
+        finish = max(self.clocks[list(group)]) + cost
+        self.clocks[list(group)] = finish
+        self.stats.record_collective(nbytes)
+
+    def broadcast(self, nbytes: int, ranks: Iterable[int] | None = None) -> None:
+        """Charge a broadcast across ``ranks`` (default: all alive nodes)."""
+        group = tuple(ranks) if ranks is not None else self.alive_ranks()
+        for rank in group:
+            self.require_alive(rank)
+        if len(group) <= 1:
+            return
+        cost = self._charge(self.cost_model.broadcast_time(nbytes, len(group)))
+        finish = max(self.clocks[list(group)]) + cost
+        self.clocks[list(group)] = finish
+        self.stats.record_collective(nbytes)
+
+    def barrier(self, ranks: Iterable[int] | None = None) -> None:
+        """Synchronise clocks of ``ranks`` (default: all alive nodes)."""
+        group = list(ranks) if ranks is not None else list(self.alive_ranks())
+        if not group:
+            return
+        finish = max(self.clocks[group])
+        self.clocks[group] = finish
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Advance one node's clock by a raw duration (already costed)."""
+        self.require_alive(rank)
+        if seconds < 0:
+            raise ConfigurationError("cannot advance a clock backwards")
+        self.clocks[rank] += seconds
+
+    def snapshot_redundancy_footprint(self) -> None:
+        """Record the current per-node redundant-memory footprint."""
+        for node in self.nodes:
+            if node.alive:
+                self.stats.record_redundancy_footprint(node.rank, node.redundancy_bytes())
+
+    # ------------------------------------------------------------------ failures
+
+    def register_vector(self, vector: "DistributedVector") -> None:
+        """Register a distributed vector whose blocks die with their node."""
+        self._registered_vectors.append(weakref.ref(vector))
+
+    def _live_vectors(self) -> list["DistributedVector"]:
+        alive: list["DistributedVector"] = []
+        kept: list[weakref.ReferenceType] = []
+        for ref in self._registered_vectors:
+            vec = ref()
+            if vec is not None:
+                alive.append(vec)
+                kept.append(ref)
+        self._registered_vectors = kept
+        return alive
+
+    def fail(self, ranks: Iterable[int]) -> tuple[int, ...]:
+        """Simulate the simultaneous failure of ``ranks``.
+
+        All dynamic data on those nodes is lost: their named stores,
+        scalars, redundancy stashes, buddy checkpoints, and their blocks
+        of every registered distributed vector (zeroed, as in the
+        paper's framework).
+        """
+        failed = tuple(sorted({int(r) for r in ranks}))
+        if not failed:
+            raise ConfigurationError("fail() needs at least one rank")
+        for rank in failed:
+            self.require_alive(rank)
+        if len(failed) >= self.n_nodes:
+            raise ClusterError("cannot fail every node in the cluster")
+        for rank in failed:
+            self.nodes[rank].wipe()
+        for vector in self._live_vectors():
+            vector.wipe_blocks(failed)
+        return failed
+
+    def replace(self, ranks: Iterable[int]) -> None:
+        """Bring spare nodes up in place of the failed ``ranks``.
+
+        The replacement starts with empty memory and its clock set to
+        the current makespan (it joins when recovery begins; the paper
+        assumes spare nodes are already allocated and idle).
+        """
+        now = self.elapsed()
+        for rank in ranks:
+            node = self.node(rank)
+            if node.alive:
+                raise ClusterError(f"rank {rank} is alive; cannot replace it")
+            node.revive()
+            self.clocks[rank] = now

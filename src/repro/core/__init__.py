@@ -1,0 +1,63 @@
+"""The paper's contribution (S7-S9) and its extensions (E1-E5).
+
+Exact state reconstruction (ESR), ESR with periodic storage (ESRP —
+the paper's algorithm-based checkpoint-restart), the in-memory buddy
+checkpoint-restart baseline (IMCR), approximate-recovery baselines from
+the related work, the no-spare-nodes variant, and the classic optimal
+checkpoint-interval formulas.
+"""
+
+from .baselines import (
+    FullRestartStrategy,
+    LeastSquaresRecovery,
+    LinearInterpolationRecovery,
+)
+from .esr import ESRStrategy
+from .esrp import BETA_DOUBLE_STAR, BETA_STAR, ESRPStrategy, STAR_PREFIX
+from .imcr import CHECKPOINT_CHANNEL, IMCRStrategy
+from .interval import (
+    daly_interval,
+    expected_waste_fraction,
+    optimal_interval_iterations,
+    young_interval,
+)
+from .no_spare import NoSpareOutcome, solve_without_spares
+from .reconstruction import (
+    ReconstructionReport,
+    reconstruct_lost_state,
+    require_reconstruction_support,
+)
+from .recovery import begin_recovery, end_recovery, fallback_restart
+from .redundancy import RedundancyQueue
+from .strategies import STRATEGY_NAMES, make_strategy
+
+__all__ = [
+    "BETA_DOUBLE_STAR",
+    "BETA_STAR",
+    "CHECKPOINT_CHANNEL",
+    "ESRPStrategy",
+    "ESRStrategy",
+    "FullRestartStrategy",
+    "IMCRStrategy",
+    "LeastSquaresRecovery",
+    "LinearInterpolationRecovery",
+    "NoSpareOutcome",
+    "ReconstructionReport",
+    "RedundancyQueue",
+    "STAR_PREFIX",
+    "STRATEGY_NAMES",
+    "begin_recovery",
+    "daly_interval",
+    "end_recovery",
+    "expected_waste_fraction",
+    "fallback_restart",
+    "make_strategy",
+    "optimal_interval_iterations",
+    "reconstruct_lost_state",
+    "recovery",
+    "require_reconstruction_support",
+    "solve_without_spares",
+    "young_interval",
+]
+
+from . import recovery  # noqa: E402  (re-export module for helpers)

@@ -1,0 +1,159 @@
+"""Approximate-recovery baselines from the related work (§1.3).
+
+These strategies pay **no** failure-free overhead (plain SpMV, no
+redundant storage), but cannot reconstruct the state exactly — they
+rebuild an approximation of the *iterand only* and then restart the CG
+recursion (fresh r, z, p) from it, discarding the Krylov subspace:
+
+* :class:`FullRestartStrategy` — restart from the initial guess; the
+  worst case, motivating ESR (§2.1: a restarted CG may need up to M
+  further iterations; cf. [19]);
+* :class:`LinearInterpolationRecovery` — Langou et al. [15]: recover
+  the lost iterand entries by solving the local system
+  ``A_ff x_f = b_f − A_{f,s} x_s`` (residual-norm growth bounded by a
+  constant factor);
+* :class:`LeastSquaresRecovery` — Agullo et al. [1]: recover the lost
+  entries by least-squares minimisation
+  ``x_f = argmin ‖(b − A_{:,s} x_s) − A_{:,f} x_f‖₂`` (residual norm
+  never increases).
+
+The recovery-quality ablation (A3 in DESIGN.md) compares them against
+ESR's exact reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..cluster.cost_model import BYTES_PER_FLOAT
+from ..cluster.failures import FailureEvent
+from ..distribution.aspmv import RECOVERY_CHANNEL
+from ..distribution.spmv import SpMVExecutor
+from ..solvers.engine import ResilienceStrategy
+from ..solvers.inner import inner_pcg
+from ..solvers.state import PCGState
+from .recovery import begin_recovery, end_recovery
+
+
+class _ApproximateRecoveryBase(ResilienceStrategy):
+    """Shared plumbing: plain SpMV + iterand-only recovery + CG restart."""
+
+    def _setup(self) -> None:
+        self._executor = SpMVExecutor(self._engine.matrix)
+
+    def spmv(self, j: int, state: PCGState) -> None:
+        self._executor.multiply(state.p, out=state.rho)
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self, j: int, event: FailureEvent, state: PCGState) -> int:
+        engine = self._engine
+        begin_recovery(engine, j, event, strategy=self.name)
+        self._rebuild_iterand(j, event, state)
+        self._restart_recursion(state)
+        end_recovery(engine, j, j, strategy=self.name)
+        return j
+
+    def _rebuild_iterand(self, j: int, event: FailureEvent, state: PCGState) -> None:
+        raise NotImplementedError
+
+    def _restart_recursion(self, state: PCGState) -> None:
+        """Fresh CG recursion from the current iterand (charged)."""
+        engine = self._engine
+        cluster = engine.cluster
+        self._executor.multiply(state.x, out=state.rho)
+        for rank in range(engine.partition.n_nodes):
+            state.r.blocks[rank][:] = engine.b.blocks[rank] - state.rho.blocks[rank]
+            cluster.compute(rank, state.r.blocks[rank].size)
+        engine.preconditioner.apply(state.r, state.z)
+        state.p.assign(state.z, charge=False)
+        state.beta = None
+
+    # -- helpers ------------------------------------------------------------
+
+    def _gather_surviving_x(self, event: FailureEvent, state: PCGState) -> np.ndarray:
+        """Surviving iterand entries, with lost entries zeroed (charged)."""
+        engine = self._engine
+        failed_set = set(event.ranks)
+        messages = []
+        for rank in event.ranks:
+            for descriptor in engine.matrix.plan.recvs[rank]:
+                if descriptor.src in failed_set or descriptor.count == 0:
+                    continue
+                messages.append(
+                    (
+                        descriptor.src,
+                        rank,
+                        descriptor.count * BYTES_PER_FLOAT,
+                        RECOVERY_CHANNEL,
+                        False,
+                    )
+                )
+        if messages:
+            engine.cluster.exchange(messages)
+        x_masked = state.x.to_global()
+        x_masked[engine.partition.indices_of(event.ranks)] = 0.0
+        return x_masked
+
+    def _scatter_lost_x(self, event: FailureEvent, state: PCGState, x_f: np.ndarray) -> None:
+        offset = 0
+        for rank in sorted(event.ranks):
+            size = self._engine.partition.size_of(rank)
+            state.x.blocks[rank][:] = x_f[offset : offset + size]
+            offset += size
+
+
+class FullRestartStrategy(_ApproximateRecoveryBase):
+    """Discard everything; restart PCG from the zero initial guess."""
+
+    name = "full_restart"
+
+    def _rebuild_iterand(self, j: int, event: FailureEvent, state: PCGState) -> None:
+        for rank in range(self._engine.partition.n_nodes):
+            state.x.blocks[rank][:] = 0.0
+
+
+class LinearInterpolationRecovery(_ApproximateRecoveryBase):
+    """Langou-style local solve for the lost iterand entries [15]."""
+
+    name = "linear_interpolation"
+
+    def _rebuild_iterand(self, j: int, event: FailureEvent, state: PCGState) -> None:
+        engine = self._engine
+        failed = tuple(sorted(event.ranks))
+        x_masked = self._gather_surviving_x(event, state)
+        rows = engine.matrix.row_block(failed)
+        b_f = np.concatenate([engine.b.blocks[rank] for rank in failed])
+        rhs = b_f - rows @ x_masked
+        a_ff = engine.matrix.submatrix(failed)
+        # [15] solves the local system; machine precision is not needed
+        # for an approximation, 1e-12 keeps it deterministic and cheap.
+        x_f, report = inner_pcg(a_ff, rhs, rtol=1e-12)
+        psi = len(failed)
+        for rank in failed:
+            engine.cluster.compute(rank, report.flops / psi)
+        self._scatter_lost_x(event, state, x_f)
+
+
+class LeastSquaresRecovery(_ApproximateRecoveryBase):
+    """Agullo-style least-squares recovery of the lost entries [1]."""
+
+    name = "least_squares"
+
+    def _rebuild_iterand(self, j: int, event: FailureEvent, state: PCGState) -> None:
+        engine = self._engine
+        failed = tuple(sorted(event.ranks))
+        lost = engine.partition.indices_of(failed)
+        x_masked = self._gather_surviving_x(event, state)
+        b_global = engine.b.to_global()
+        rhs = b_global - engine.matrix.global_csr @ x_masked
+        columns = sp.csr_matrix(engine.matrix.global_csr[:, lost])
+        result = spla.lsqr(columns, rhs, atol=1e-12, btol=1e-12)
+        x_f = result[0]
+        flops = 4.0 * columns.nnz * max(result[2], 1)  # itn count
+        psi = len(failed)
+        for rank in failed:
+            engine.cluster.compute(rank, flops / psi)
+        self._scatter_lost_x(event, state, x_f)

@@ -1,0 +1,86 @@
+"""Optimal checkpoint-interval formulas (Young [28], Daly [8]).
+
+The paper frames ESRP as algorithm-based checkpoint-restart with a
+tunable interval T and cites the classic literature on choosing it.
+These helpers compute the optima for the interval ablation (A2 in
+DESIGN.md), both in seconds and — more useful for an iterative solver —
+in iterations.
+
+Notation: δ = cost of one checkpoint, M = mean time between failures
+(same unit as δ).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError
+
+
+def young_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Young's first-order optimum: ``T = sqrt(2 δ M)`` [28].
+
+    Valid when δ ≪ M; returns the *compute* interval between
+    checkpoints (excluding the checkpoint itself).
+    """
+    _validate(checkpoint_cost, mtbf)
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def daly_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Daly's higher-order optimum [8].
+
+    ``T = sqrt(2 δ M) · [1 + (1/3)·sqrt(δ/(2M)) + (1/9)·(δ/(2M))] − δ``
+    for δ < 2M, else ``T = M``.
+    """
+    _validate(checkpoint_cost, mtbf)
+    if checkpoint_cost >= 2.0 * mtbf:
+        return float(mtbf)
+    ratio = checkpoint_cost / (2.0 * mtbf)
+    base = math.sqrt(2.0 * checkpoint_cost * mtbf)
+    return base * (1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0) - checkpoint_cost
+
+
+def optimal_interval_iterations(
+    checkpoint_cost_seconds: float,
+    mtbf_seconds: float,
+    seconds_per_iteration: float,
+    formula: str = "daly",
+    minimum: int = 3,
+) -> int:
+    """Optimal ESRP/IMCR interval T expressed in solver iterations.
+
+    ``minimum`` defaults to 3 because ESRP requires T ≥ 3 (T ∈ {1,2}
+    degenerate to ESR).
+    """
+    if seconds_per_iteration <= 0:
+        raise ConfigurationError("seconds_per_iteration must be > 0")
+    if formula == "young":
+        seconds = young_interval(checkpoint_cost_seconds, mtbf_seconds)
+    elif formula == "daly":
+        seconds = daly_interval(checkpoint_cost_seconds, mtbf_seconds)
+    else:
+        raise ConfigurationError(f"unknown formula {formula!r}; expected young|daly")
+    return max(int(minimum), int(round(seconds / seconds_per_iteration)))
+
+
+def expected_waste_fraction(
+    interval: float, checkpoint_cost: float, mtbf: float
+) -> float:
+    """First-order expected overhead fraction of a checkpointing run.
+
+    ``waste(T) ≈ δ/T + T/(2M)`` — checkpointing cost plus expected
+    rollback loss.  Minimised at Young's T; used by the interval
+    ablation to compare the analytic curve with simulated results.
+    """
+    if interval <= 0:
+        raise ConfigurationError("interval must be > 0")
+    _validate(checkpoint_cost, mtbf)
+    return checkpoint_cost / interval + interval / (2.0 * mtbf)
+
+
+def _validate(checkpoint_cost: float, mtbf: float) -> None:
+    if checkpoint_cost < 0:
+        raise ConfigurationError("checkpoint_cost must be >= 0")
+    if mtbf <= 0:
+        raise ConfigurationError("mtbf must be > 0")

@@ -1,0 +1,164 @@
+"""ESR without spare/replacement nodes (Pachajoa et al. [22], extension E4).
+
+The paper's §1.3 and §4 note that ESR can also proceed *without* spare
+nodes: the lost information is reconstructed and the solver continues
+on the surviving nodes only.  This module implements that variant on
+top of the library's exact-reconstruction machinery:
+
+1. run ESR normally (ASpMV every iteration) until the failure strikes;
+2. reconstruct the lost state blocks exactly (Alg. 2 mathematics on the
+   gathered redundant copies — identical math, performed on the
+   shrunken survivor group);
+3. repartition the problem over the ``N − ψ`` survivors, migrate the
+   exact state (charged as an all-to-all style redistribution), and
+   continue on the smaller cluster.
+
+One subtlety: the node-aligned block-Jacobi preconditioner is defined
+by the partition, so shrinking the cluster *changes the operator P*.
+Continuing the CG recursion with vectors built under the old P loses
+conjugacy and can stall; the correct hand-off is therefore to restart
+the recursion (fresh r, z, p) from the **exactly reconstructed
+iterand** — no accuracy is lost, but the Krylov space is rebuilt, so
+the continuation costs roughly as many iterations as a fresh solve
+started from the recovered x.  (A fixed, partition-independent
+preconditioner would preserve the trajectory exactly; that trade-off is
+inherent to no-spare operation and absent with spare nodes.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..cluster.communicator import VirtualCluster
+from ..cluster.cost_model import BYTES_PER_FLOAT
+from ..cluster.failures import FailureEvent, FailureSchedule
+from ..distribution.matrix import DistributedMatrix
+from ..distribution.partition import BlockRowPartition
+from ..events import EventKind, EventLog
+from ..exceptions import ConfigurationError
+from ..preconditioners import make_preconditioner
+from ..preconditioners.base import Preconditioner
+from ..solvers.engine import PCGEngine, SolveOptions, SolveResult
+from .esr import ESRStrategy
+
+
+@dataclasses.dataclass(frozen=True)
+class NoSpareOutcome:
+    """Result of a no-spare run: the final result plus phase bookkeeping."""
+
+    result: SolveResult
+    failure_iteration: int | None
+    survivors: int
+    migrated_bytes: int
+    phase1_events: EventLog | None
+
+
+def solve_without_spares(
+    matrix_csr,
+    b: np.ndarray,
+    n_nodes: int,
+    failure: FailureEvent | None,
+    preconditioner_name: str = "block_jacobi",
+    phi: int = 1,
+    options: SolveOptions | None = None,
+    cluster_seed: int | None = 0,
+    cost_model=None,
+) -> NoSpareOutcome:
+    """Solve ``A x = b`` with ESR resilience but no spare nodes.
+
+    ``failure`` (one event, as in the paper's protocol) is recovered by
+    shrinking the cluster instead of replacing the lost nodes.  Passing
+    ``failure=None`` runs the failure-free case (identical to ESR).
+    """
+    options = options or SolveOptions()
+    cluster = VirtualCluster(n_nodes, cost_model=cost_model, seed=cluster_seed)
+    partition = BlockRowPartition.uniform(matrix_csr.shape[0], n_nodes)
+    matrix = DistributedMatrix(cluster, partition, matrix_csr)
+    precond: Preconditioner = make_preconditioner(preconditioner_name)
+
+    if failure is None:
+        engine = PCGEngine(
+            matrix=matrix,
+            b=b,
+            preconditioner=precond,
+            strategy=ESRStrategy(phi=phi),
+            options=options,
+        )
+        result = engine.solve()
+        return NoSpareOutcome(result, None, n_nodes, 0, None)
+
+    # Phase 1: run ESR up to (and including) the failure iteration.  The
+    # ESR recovery reconstructs the exact state in place (on the
+    # temporarily revived ranks); the iteration cap then stops the run so
+    # we can migrate that state to the shrunken cluster.
+    cap_options = dataclasses.replace(
+        options, maxiter=failure.iteration + 1, require_convergence=False
+    )
+    engine = PCGEngine(
+        matrix=matrix,
+        b=b,
+        preconditioner=precond,
+        strategy=ESRStrategy(phi=phi),
+        options=cap_options,
+        failures=FailureSchedule([failure]),
+    )
+    phase1 = engine.solve()
+    if phase1.converged:
+        # Converged before the failure ever struck; nothing to migrate.
+        return NoSpareOutcome(phase1, None, n_nodes, 0, engine.log)
+
+    # The ESR recovery inside phase 1 already rebuilt the exact state at
+    # the failure iteration (on the revived ranks).  Gather it.
+    failed = set(failure.ranks)
+    survivors = n_nodes - len(failed)
+    if survivors < 1:
+        raise ConfigurationError("at least one survivor is required")
+
+    # Phase 2: continue on a cluster of the survivors only, carrying
+    # the simulated clock forward and charging the state migration.
+    # The iterand is exact; the recursion restarts (see module docstring).
+    state = engine.final_state
+    if state is None:  # pragma: no cover - solve() always sets it
+        raise ConfigurationError("phase 1 did not produce a state")
+    recovered_x = state.x.to_global()
+    migrated = 4 * matrix_csr.shape[0] * BYTES_PER_FLOAT
+
+    cluster2 = VirtualCluster(survivors, cost_model=cost_model, seed=cluster_seed)
+    cluster2.clocks[:] = engine.cluster.elapsed()
+    # Redistribution: every entry moves once, pipelined across nodes.
+    per_node = migrated / survivors
+    for rank in range(survivors):
+        cluster2.advance(rank, cluster2.cost_model.message_time(int(per_node)))
+    partition2 = BlockRowPartition.uniform(matrix_csr.shape[0], survivors)
+    matrix2 = DistributedMatrix(cluster2, partition2, matrix_csr)
+    precond2 = make_preconditioner(preconditioner_name)
+    engine2 = PCGEngine(
+        matrix=matrix2,
+        b=b,
+        preconditioner=precond2,
+        strategy=ESRStrategy(phi=min(phi, survivors - 1)) if survivors > 1 else _plain(),
+        options=options,
+    )
+    engine2.log.record(
+        EventKind.RECOVERY_END,
+        iteration=failure.iteration,
+        time=cluster2.elapsed(),
+        survivors=survivors,
+        migrated_bytes=migrated,
+    )
+    result = engine2.solve(x0=recovered_x)
+    return NoSpareOutcome(
+        result=result,
+        failure_iteration=failure.iteration,
+        survivors=survivors,
+        migrated_bytes=migrated,
+        phase1_events=engine.log,
+    )
+
+
+def _plain():
+    from ..solvers.engine import NoResilience
+
+    return NoResilience()

@@ -1,0 +1,176 @@
+"""Exact state reconstruction — Alg. 2 of the paper.
+
+Runs on the replacement nodes after a failure.  Given the two stored
+search directions ``p′^{(ĵ-1)}, p′^{(ĵ)}`` (gathered from the surviving
+redundancy stores), the replicated scalar ``β^{(ĵ-1)}`` and the
+surviving entries of ``x^{(ĵ)}`` and ``r^{(ĵ)}``, it rebuilds the lost
+blocks of the full state for iteration ĵ:
+
+1. ``z_f = p_f − β^{(ĵ-1)} · p_prev_f``                      (line 4)
+2. ``v = z_f − P_{f,s} r_s``; for node-aligned block-diagonal
+   preconditioners ``P_{f,s} = 0``, so ``v = z_f``             (line 5)
+3. solve ``P_ff r_f = v`` — exact & local for block-diagonal P (line 6)
+4. ``w = b_f − r_f − A_{f,s} x_s``                            (line 7)
+5. solve ``A_ff x_f = w`` with inner PCG to 1e-14             (line 8)
+
+Static data (matrix rows, preconditioner blocks, ``b_f``) comes from
+safe storage; per the paper's §4 measurement protocol its reload time
+is *not* charged.  Everything dynamic — gathering surviving entries,
+redundant copies, the inner solves — is charged to the simulated
+clocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..cluster.cost_model import BYTES_PER_FLOAT
+from ..distribution.aspmv import RECOVERY_CHANNEL
+from ..exceptions import ReconstructionUnsupportedError
+from ..solvers.engine import PCGEngine
+from ..solvers.inner import INNER_RTOL, inner_pcg
+from ..solvers.state import PCGState
+
+
+@dataclasses.dataclass(frozen=True)
+class ReconstructionReport:
+    """What the reconstruction did (for logging and cost validation)."""
+
+    target_iteration: int
+    failed_ranks: tuple[int, ...]
+    lost_rows: int
+    inner_iterations: int
+    inner_relative_residual: float
+    gathered_x_entries: int
+
+
+def require_reconstruction_support(engine: PCGEngine) -> None:
+    """Fail fast if the preconditioner cannot be restricted (Alg. 2)."""
+    if not engine.preconditioner.supports_reconstruction:
+        raise ReconstructionUnsupportedError(
+            f"preconditioner {engine.preconditioner.name!r} is not node-aligned "
+            "block diagonal; ESR/ESRP cannot reconstruct with it — use IMCR"
+        )
+
+
+def reconstruct_lost_state(
+    engine: PCGEngine,
+    state: PCGState,
+    failed_ranks: tuple[int, ...],
+    target_iteration: int,
+    p_curr: dict[int, np.ndarray],
+    p_prev: dict[int, np.ndarray],
+    beta_prev: float,
+    inner_rtol: float = INNER_RTOL,
+    inner_block_size: int = 10,
+) -> ReconstructionReport:
+    """Rebuild the lost blocks of (x, r, z, p) for ``target_iteration``.
+
+    Preconditions: the failed ranks have been replaced (alive, empty),
+    the *surviving* blocks of ``state`` already hold the state of
+    ``target_iteration`` (ESR: unchanged; ESRP: rolled back from the
+    starred copies), and ``p_curr``/``p_prev`` hold the gathered lost
+    blocks of ``p^{(ĵ)}`` and ``p^{(ĵ-1)}``.
+    """
+    require_reconstruction_support(engine)
+    cluster = engine.cluster
+    partition = engine.partition
+    matrix = engine.matrix
+    failed = tuple(sorted(failed_ranks))
+    failed_set = set(failed)
+    psi = len(failed)
+
+    # Line 4: z_f = p_f - beta * p_prev_f   (on each replacement).
+    z_segments: list[np.ndarray] = []
+    for rank in failed:
+        z_rank = p_curr[rank] - beta_prev * p_prev[rank]
+        z_segments.append(z_rank)
+        cluster.compute(rank, 2 * z_rank.size)
+    z_f = np.concatenate(z_segments)
+
+    # Lines 5-6: P_{f,s} = 0 for supported preconditioners, so v = z_f;
+    # solve P_ff r_f = v exactly via the local inverse action.
+    r_f = engine.preconditioner.solve_restricted(failed, z_f)
+    per_rank_flops = engine.preconditioner.reconstruction_flops(failed) / max(psi, 1)
+    for rank in failed:
+        cluster.compute(rank, per_rank_flops)
+
+    # Line 7: w = b_f - r_f - A_{f,s} x_s.
+    # Gather the surviving x entries appearing in the failed rows' halo
+    # (one concurrent phase).
+    gathered = 0
+    messages = []
+    for rank in failed:
+        for descriptor in matrix.plan.recvs[rank]:
+            if descriptor.src in failed_set or descriptor.count == 0:
+                continue
+            nbytes = descriptor.count * BYTES_PER_FLOAT
+            messages.append((descriptor.src, rank, nbytes, RECOVERY_CHANNEL, False))
+            gathered += descriptor.count
+    if messages:
+        cluster.exchange(messages)
+
+    lost_indices = partition.indices_of(failed)
+    x_masked = state.x.to_global()
+    x_masked[lost_indices] = 0.0  # only surviving entries contribute
+    rows = matrix.row_block(failed)  # A[I_f, :] from safe storage
+    b_f = np.concatenate([engine.b.blocks[rank] for rank in failed])
+    w = b_f - r_f - rows @ x_masked
+    for rank in failed:
+        cluster.compute(rank, (2.0 * rows.nnz + 2.0 * w.size) / psi)
+
+    # Line 8: solve A_ff x_f = w with inner PCG (paper: rtol 1e-14,
+    # block Jacobi <= 10 on the inner system too).
+    a_ff = matrix.submatrix(failed)
+    x_f, report = inner_pcg(
+        a_ff, w, rtol=inner_rtol, max_block_size=inner_block_size
+    )
+    _charge_inner_solve(engine, failed, report.flops, report.iterations)
+
+    # Scatter the reconstructed blocks into the solver state.
+    offset = 0
+    for rank in failed:
+        size = partition.size_of(rank)
+        segment = slice(offset, offset + size)
+        state.x.blocks[rank][:] = x_f[segment]
+        state.r.blocks[rank][:] = r_f[segment]
+        state.z.blocks[rank][:] = z_f[segment]
+        state.p.blocks[rank][:] = p_curr[rank]
+        offset += size
+
+    return ReconstructionReport(
+        target_iteration=int(target_iteration),
+        failed_ranks=failed,
+        lost_rows=int(lost_indices.size),
+        inner_iterations=report.iterations,
+        inner_relative_residual=report.relative_residual,
+        gathered_x_entries=gathered,
+    )
+
+
+def _charge_inner_solve(
+    engine: PCGEngine,
+    failed: tuple[int, ...],
+    flops: float,
+    iterations: int,
+) -> None:
+    """Charge the distributed cost of the inner solve.
+
+    The inner system spans the replacement group: computation is split
+    across the ψ replacements, and each inner iteration needs the two
+    PCG reductions within the group (charged as allreduce time).
+    """
+    cluster = engine.cluster
+    psi = len(failed)
+    per_rank = flops / max(psi, 1)
+    reduction = 0.0
+    if psi > 1:
+        reduction = iterations * 2 * cluster.cost_model.allreduce_time(
+            BYTES_PER_FLOAT, psi
+        )
+    for rank in failed:
+        cluster.compute(rank, per_rank)
+        if reduction:
+            cluster.advance(rank, reduction)

@@ -1,0 +1,68 @@
+"""Shared recovery plumbing used by the resilience strategies.
+
+Keeps the strategy classes focused on *what* they store and rebuild;
+the common mechanics — spare-node replacement, recovery-phase event
+bracketing, and the restart-from-scratch fallback — live here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..cluster.failures import FailureEvent
+from ..events import EventKind
+from ..solvers.engine import PCGEngine
+from ..solvers.state import PCGState
+
+
+def begin_recovery(engine: PCGEngine, j: int, event: FailureEvent, **detail: Any) -> None:
+    """Bring up spare nodes for the failed ranks and open a recovery span.
+
+    The paper assumes spare nodes are pre-allocated and the middleware
+    costs of detection/communicator reconstruction are comparable
+    between strategies (§4 "Beyond node-failure simulation"); those are
+    therefore not charged.
+    """
+    engine.cluster.replace(event.ranks)
+    engine.log.record(
+        EventKind.RECOVERY_START,
+        iteration=j,
+        time=engine.cluster.elapsed(),
+        ranks=event.ranks,
+        **detail,
+    )
+
+
+def end_recovery(engine: PCGEngine, j: int, resume_iteration: int, **detail: Any) -> None:
+    """Close a recovery span (synchronising all nodes first).
+
+    Recovery ends with every node agreeing on the restored state, which
+    in MPI terms is at least a barrier on the new communicator.
+    """
+    engine.cluster.barrier()
+    engine.log.record(
+        EventKind.RECOVERY_END,
+        iteration=j,
+        time=engine.cluster.elapsed(),
+        resume_iteration=resume_iteration,
+        **detail,
+    )
+
+
+def fallback_restart(engine: PCGEngine, state: PCGState, j: int, reason: str) -> int:
+    """Restart from the initial guess when recovery data is unavailable.
+
+    Used when a failure strikes before the first storage
+    stage/checkpoint completed, or when a second failure destroyed the
+    only surviving copies.  Static data is safe, so the solve restarts
+    cleanly at iteration 0; the cost is all progress so far.
+    """
+    engine.log.record(
+        EventKind.WARNING,
+        iteration=j,
+        time=engine.cluster.elapsed(),
+        reason=reason,
+        action="full restart from initial guess",
+    )
+    engine.reinitialize_state(state)
+    return 0

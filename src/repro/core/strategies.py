@@ -1,0 +1,90 @@
+"""Strategy registry and factory.
+
+Central place that maps configuration names to resilience strategies,
+including the paper's prescription that ESRP with T ∈ {1, 2} *is* ESR
+(§3: "For T = 2 it no longer makes sense... for T = 1 ... this
+corresponds to regular ESR").
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from ..solvers.engine import NoResilience, ResilienceStrategy
+from .baselines import (
+    FullRestartStrategy,
+    LeastSquaresRecovery,
+    LinearInterpolationRecovery,
+)
+from .esr import ESRStrategy
+from .esrp import ESRPStrategy
+from .imcr import IMCRStrategy
+
+#: Canonical strategy names (aliases resolved by :func:`make_strategy`).
+STRATEGY_NAMES = (
+    "reference",
+    "esr",
+    "esrp",
+    "imcr",
+    "full_restart",
+    "linear_interpolation",
+    "least_squares",
+)
+
+_ALIASES = {
+    "none": "reference",
+    "pcg": "reference",
+    "cr": "imcr",
+    "checkpoint": "imcr",
+    "lininterp": "linear_interpolation",
+    "li": "linear_interpolation",
+    "lsq": "least_squares",
+}
+
+
+def make_strategy(
+    name: str,
+    T: int = 1,
+    phi: int = 1,
+    rule: str = "paper",
+    destinations: str = "eq1",
+) -> ResilienceStrategy:
+    """Instantiate a resilience strategy by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`STRATEGY_NAMES` (or an alias).
+    T:
+        Checkpoint/storage interval (ESRP and IMCR).
+    phi:
+        Number of redundant copies / supported simultaneous failures.
+    rule:
+        ASpMV extra-entry selection rule: ``"paper"`` (corrected closed
+        form) or ``"greedy"`` (minimal sends).
+    destinations:
+        Designated-destination policy for redundant copies: ``"eq1"``
+        (the paper's nearest neighbours) or ``"switch_aware"`` (prefer
+        other fat-tree leaves — survives whole-switch faults).
+    """
+    key = name.lower().replace("-", "_")
+    key = _ALIASES.get(key, key)
+    if key == "reference":
+        return NoResilience()
+    if key == "esr":
+        return ESRStrategy(phi=phi, rule=rule, destinations=destinations)
+    if key == "esrp":
+        if T <= 2:
+            # The paper's degenerate cases: ESRP with T in {1,2} is ESR.
+            return ESRStrategy(phi=phi, rule=rule, destinations=destinations)
+        return ESRPStrategy(T=T, phi=phi, rule=rule, destinations=destinations)
+    if key == "imcr":
+        return IMCRStrategy(T=max(T, 1), phi=phi)
+    if key == "full_restart":
+        return FullRestartStrategy()
+    if key == "linear_interpolation":
+        return LinearInterpolationRecovery()
+    if key == "least_squares":
+        return LeastSquaresRecovery()
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; available: {', '.join(STRATEGY_NAMES)}"
+    )

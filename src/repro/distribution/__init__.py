@@ -1,0 +1,41 @@
+"""Block-row data distribution, distributed vectors/matrices, SpMV/ASpMV.
+
+Implements S2–S4 of DESIGN.md: the PETSc-style consecutive block-row
+distribution (§1.2 of the paper), the distributed sparse matrix-vector
+product with explicit halo communication, and the augmented SpMV that
+guarantees ϕ redundant copies of the input vector (§2.2).
+"""
+
+from .aspmv import (
+    ASpMVExecutor,
+    EXTRA_CHANNEL,
+    ExtraTransfer,
+    RECOVERY_CHANNEL,
+    RedundancyPlan,
+    eq1_destinations,
+    gather_redundant_copy,
+    switch_aware_destinations,
+)
+from .comm_plan import SendDescriptor, SpMVPlan
+from .matrix import DistributedMatrix
+from .partition import BlockRowPartition
+from .spmv import HALO_CHANNEL, SpMVExecutor
+from .vector import DistributedVector
+
+__all__ = [
+    "ASpMVExecutor",
+    "BlockRowPartition",
+    "DistributedMatrix",
+    "DistributedVector",
+    "EXTRA_CHANNEL",
+    "ExtraTransfer",
+    "HALO_CHANNEL",
+    "RECOVERY_CHANNEL",
+    "RedundancyPlan",
+    "SendDescriptor",
+    "SpMVExecutor",
+    "SpMVPlan",
+    "eq1_destinations",
+    "gather_redundant_copy",
+    "switch_aware_destinations",
+]

@@ -1,0 +1,411 @@
+"""Augmented sparse matrix-vector product (ASpMV) — §2.2 of the paper.
+
+The plain SpMV already copies some entries of the input vector ``p`` to
+other nodes (the halo).  The *augmented* product additionally sends the
+entries that would otherwise reach fewer than ϕ other nodes, so that
+after the product **every entry of p is held by at least ϕ nodes other
+than its owner** — enough to survive ϕ simultaneous node failures.
+
+Destination choice (Eq. 1): the ϕ nearest neighbours of node ``s``::
+
+    d_{s,k} = (s + ceil(k/2)) mod N   if k odd
+            = (s - k/2)       mod N   if k even
+
+Selection rule ``Rc_{s,k}`` (which entries to send additionally to
+``d_{s,k}``): the paper prints ``m(i) - g(i) < ϕ - k``, where ``m(i)``
+is the number of nodes entry ``i`` is naturally sent to, and ``g(i)``
+how many of those are designated destinations.  As printed, the rule
+violates its own invariant (with ϕ=1 and an entry that is sent nowhere,
+``0 < 0`` fails and the entry is never replicated).  We implement the
+corrected rule ``m(i) - g(i) <= ϕ - k``:
+
+    Let c = m - g (copies at non-designated nodes).  Entry i is sent to
+    the designated nodes d_k with k <= ϕ - c (those not already natural
+    recipients).  Counting holders: c non-designated + g natural
+    designated + (ϕ - c - g') added designated, where g' <= g of the
+    natural designated fall into k <= ϕ - c.  Total >= c + g + ϕ - c -
+    g' >= ϕ.  ∎
+
+A ``greedy`` variant keeps a running copy counter and sends the minimal
+number of extras; both rules are property-tested for the invariant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, IrrecoverableDataLossError
+from .comm_plan import SpMVPlan
+from .matrix import DistributedMatrix
+from .partition import BlockRowPartition
+from .spmv import HALO_CHANNEL, SpMVExecutor
+from .vector import DistributedVector
+
+#: Statistics channel for the redundancy traffic added by ASpMV.
+EXTRA_CHANNEL = "aspmv_extra"
+#: Statistics channel for recovery-time gathering of redundant copies.
+RECOVERY_CHANNEL = "recovery"
+
+
+class SupportsPush(Protocol):
+    """Anything that behaves like the redundancy queue of §3."""
+
+    def push(self, iteration: int) -> int | None:  # pragma: no cover - protocol
+        """Record a new redundant copy; return the evicted iteration, if any."""
+        ...
+
+
+def eq1_destinations(src: int, phi: int, n_nodes: int) -> tuple[int, ...]:
+    """The ϕ designated destination nodes of ``src`` per Eq. (1).
+
+    After modular wraparound, candidates equal to ``src`` or already
+    chosen are skipped (relevant only for small clusters); ϕ is capped
+    at ``n_nodes - 1`` since there are no more distinct destinations.
+    """
+    if phi < 0:
+        raise ConfigurationError(f"phi must be >= 0, got {phi}")
+    wanted = min(phi, n_nodes - 1)
+    chosen: list[int] = []
+    k = 0
+    while len(chosen) < wanted:
+        k += 1
+        if k > 4 * n_nodes:  # pragma: no cover - defensive, unreachable
+            raise ConfigurationError("could not find enough distinct destinations")
+        if k % 2 == 1:
+            candidate = (src + (k + 1) // 2) % n_nodes
+        else:
+            candidate = (src - k // 2) % n_nodes
+        if candidate != src and candidate not in chosen:
+            chosen.append(candidate)
+    return tuple(chosen)
+
+
+def switch_aware_destinations(
+    src: int, phi: int, n_nodes: int, topology
+) -> tuple[int, ...]:
+    """Failure-domain-aware variant of Eq. (1) (extension, paper §2.2).
+
+    The paper motivates contiguous-block failures with switch faults —
+    but Eq. (1) places the redundant copies on the *nearest* ranks,
+    which sit under the *same* leaf switch: exactly the nodes that die
+    together with the owner.  This selector walks the Eq.-(1) candidate
+    order but prefers destinations under a different leaf switch, so a
+    whole-switch fault can never take out an entry together with all of
+    its copies.  ("Optimization of our strategies taking ... the
+    network topology of the cluster into consideration ... is ongoing
+    work" — §2.2.1.)
+
+    Falls back to same-leaf candidates only when fewer than ϕ
+    cross-leaf nodes exist.
+    """
+    if phi < 0:
+        raise ConfigurationError(f"phi must be >= 0, got {phi}")
+    wanted = min(phi, n_nodes - 1)
+    src_leaf = topology.leaf_of(src)
+    preferred: list[int] = []
+    fallback: list[int] = []
+    k = 0
+    while len(preferred) < wanted and k < 4 * n_nodes:
+        k += 1
+        if k % 2 == 1:
+            candidate = (src + (k + 1) // 2) % n_nodes
+        else:
+            candidate = (src - k // 2) % n_nodes
+        if candidate == src or candidate in preferred or candidate in fallback:
+            continue
+        if topology.leaf_of(candidate) != src_leaf:
+            preferred.append(candidate)
+        else:
+            fallback.append(candidate)
+    chosen = (preferred + fallback)[:wanted]
+    return tuple(chosen)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtraTransfer:
+    """Redundancy entries ``src`` must send to ``dst`` on top of the halo."""
+
+    src: int
+    dst: int
+    local_indices: np.ndarray
+    global_indices: np.ndarray
+    #: True if a natural halo message src->dst exists (extras piggy-back).
+    piggyback: bool
+
+    @property
+    def count(self) -> int:
+        return int(self.local_indices.size)
+
+
+class RedundancyPlan:
+    """Which extra entries each node sends where, for a target ϕ.
+
+    Precomputed once per (matrix plan, ϕ, rule); reused by every
+    augmented product.
+    """
+
+    def __init__(
+        self,
+        plan: SpMVPlan,
+        phi: int,
+        rule: str = "paper",
+        destinations: str = "eq1",
+        topology=None,
+    ):
+        if rule not in ("paper", "greedy"):
+            raise ConfigurationError(f"unknown ASpMV rule {rule!r}; expected paper|greedy")
+        if destinations not in ("eq1", "switch_aware"):
+            raise ConfigurationError(
+                f"unknown destination policy {destinations!r}; expected eq1|switch_aware"
+            )
+        if destinations == "switch_aware" and topology is None:
+            raise ConfigurationError("switch_aware destinations need a FatTree topology")
+        if phi < 1:
+            raise ConfigurationError(f"phi must be >= 1 for redundancy, got {phi}")
+        self.plan = plan
+        self.partition = plan.partition
+        self.rule = rule
+        self.destination_policy = destinations
+        self.phi_requested = int(phi)
+        self.phi = min(int(phi), plan.n_nodes - 1)
+        self.extras: list[list[ExtraTransfer]] = []
+        self.designated: list[tuple[int, ...]] = []
+
+        for src in range(plan.n_nodes):
+            lo, _ = self.partition.bounds(src)
+            n_local = self.partition.size_of(src)
+            if destinations == "switch_aware":
+                dests = switch_aware_destinations(src, self.phi, plan.n_nodes, topology)
+                # Failure-domain-aware multiplicity: natural copies under
+                # the owner's own leaf switch die together with it, so
+                # they must not count towards the redundancy target.
+                src_leaf = topology.leaf_of(src)
+                m = np.zeros(n_local, dtype=np.int64)
+                for descriptor in plan.sends[src]:
+                    if topology.leaf_of(descriptor.dst) != src_leaf:
+                        m[descriptor.local_indices] += 1
+            else:
+                dests = eq1_destinations(src, self.phi, plan.n_nodes)
+                m = plan.multiplicity(src)
+            self.designated.append(dests)
+            natural = {d.dst: d for d in plan.sends[src]}
+
+            member = np.zeros((len(dests), n_local), dtype=bool)
+            for row, dst in enumerate(dests):
+                descriptor = natural.get(dst)
+                if descriptor is not None:
+                    member[row, descriptor.local_indices] = True
+            g = member.sum(axis=0)
+
+            transfers: list[ExtraTransfer] = []
+            if self.rule == "greedy":
+                copies = m.copy()
+                for row, dst in enumerate(dests):
+                    mask = (~member[row]) & (copies < self.phi)
+                    copies[mask] += 1
+                    transfers.append(self._make_transfer(src, dst, mask, lo, natural))
+            else:
+                for row, dst in enumerate(dests):
+                    k = row + 1
+                    mask = (~member[row]) & (m - g <= self.phi - k)
+                    transfers.append(self._make_transfer(src, dst, mask, lo, natural))
+            self.extras.append([t for t in transfers if t.count > 0])
+
+    @staticmethod
+    def _make_transfer(
+        src: int,
+        dst: int,
+        mask: np.ndarray,
+        lo: int,
+        natural: dict[int, object],
+    ) -> ExtraTransfer:
+        local = np.flatnonzero(mask).astype(np.int64)
+        descriptor = natural.get(dst)
+        piggyback = descriptor is not None and descriptor.count > 0  # type: ignore[attr-defined]
+        return ExtraTransfer(
+            src=src,
+            dst=dst,
+            local_indices=local,
+            global_indices=local + lo,
+            piggyback=piggyback,
+        )
+
+    # ------------------------------------------------------------------ queries
+
+    def extra_entries(self, src: int | None = None) -> int:
+        """Extra vector entries sent per augmented product."""
+        sources = range(self.plan.n_nodes) if src is None else (src,)
+        return sum(t.count for s in sources for t in self.extras[s])
+
+    def copy_holders(self, src: int) -> list[set[int]]:
+        """For each local index of ``src``: the set of non-owner holders.
+
+        Combines natural halo recipients and extra destinations — used
+        by tests to verify the ≥ϕ invariant.
+        """
+        holders: list[set[int]] = [set() for _ in range(self.partition.size_of(src))]
+        for descriptor in self.plan.sends[src]:
+            for li in descriptor.local_indices:
+                holders[li].add(descriptor.dst)
+        for transfer in self.extras[src]:
+            for li in transfer.local_indices:
+                holders[li].add(transfer.dst)
+        return holders
+
+    def min_copies(self) -> int:
+        """Minimum non-owner copy count over all entries (≥ ϕ required)."""
+        lowest = None
+        for src in range(self.plan.n_nodes):
+            holders = self.copy_holders(src)
+            for entry_holders in holders:
+                count = len(entry_holders)
+                lowest = count if lowest is None else min(lowest, count)
+        return 0 if lowest is None else lowest
+
+
+class ASpMVExecutor(SpMVExecutor):
+    """SpMV that additionally materialises a redundant copy of ``p``.
+
+    ``multiply_augmented(x, iteration, queue)`` performs the plain
+    product *and*:
+
+    * stashes every naturally communicated piece of ``x`` in the
+      recipient's redundancy store under key ``iteration`` (these
+      copies count towards ϕ),
+    * sends/stashes the extra entries of the redundancy plan,
+      piggy-backing on natural messages where possible,
+    * pushes ``iteration`` into the redundancy queue and drops evicted
+      iterations from every node's store.
+    """
+
+    def __init__(
+        self,
+        matrix: DistributedMatrix,
+        phi: int,
+        rule: str = "paper",
+        destinations: str = "eq1",
+    ):
+        super().__init__(matrix)
+        topology = matrix.cluster.topology if destinations == "switch_aware" else None
+        self.redundancy = RedundancyPlan(
+            matrix.plan, phi, rule=rule, destinations=destinations, topology=topology
+        )
+
+    @property
+    def phi(self) -> int:
+        return self.redundancy.phi
+
+    def multiply_augmented(
+        self,
+        x: DistributedVector,
+        iteration: int,
+        queue: SupportsPush,
+        out: DistributedVector | None = None,
+    ) -> DistributedVector:
+        """``out = A @ x`` while storing a redundant copy of ``x``."""
+        if out is None:
+            out = DistributedVector(self.matrix.cluster, self.matrix.partition)
+        cluster = self.cluster
+
+        # A rollback may re-execute a storage iteration: clear any stale
+        # stash for this iteration so re-pushes do not accumulate.
+        for node in cluster.nodes:
+            if node.alive:
+                node.drop_redundant(iteration)
+
+        # Natural halo exchange + redundancy extras: one concurrent
+        # phase, with stashing at the recipients.  Extras destined to a
+        # node that already receives a natural message ride along as
+        # merged payload (no extra start-up latency).
+        messages = []
+        merged = []
+        for src in range(self.plan.n_nodes):
+            for descriptor in self.plan.sends[src]:
+                if descriptor.count == 0:
+                    continue
+                values = x.blocks[src][descriptor.local_indices]
+                messages.append((src, descriptor.dst, values.nbytes, HALO_CHANNEL, False))
+                self._ghost_buffers[descriptor.dst][descriptor.ghost_positions] = values
+                cluster.node(descriptor.dst).stash_redundant(
+                    iteration, src, descriptor.global_indices, values
+                )
+            for transfer in self.redundancy.extras[src]:
+                values = x.blocks[src][transfer.local_indices]
+                if transfer.piggyback:
+                    merged.append((src, transfer.dst, values.nbytes, EXTRA_CHANNEL))
+                else:
+                    messages.append((src, transfer.dst, values.nbytes, EXTRA_CHANNEL, False))
+                cluster.node(transfer.dst).stash_redundant(
+                    iteration, src, transfer.global_indices, values
+                )
+        if messages or merged:
+            cluster.exchange(messages, piggyback=merged)
+
+        evicted = queue.push(iteration)
+        if evicted is not None:
+            for node in cluster.nodes:
+                if node.alive:
+                    node.drop_redundant(evicted)
+
+        self.local_multiply(x, out)
+        return out
+
+
+def gather_redundant_copy(
+    cluster,
+    partition: BlockRowPartition,
+    iteration: int,
+    failed_ranks: Iterable[int],
+    channel: str = RECOVERY_CHANNEL,
+) -> dict[int, np.ndarray]:
+    """Collect ``p'^{(iteration)}_{I_f}`` from the surviving nodes.
+
+    For every failed rank (whose replacement is alive but empty), every
+    surviving node sends whatever pieces of that rank's entries it holds
+    for ``iteration``.  Returns ``{rank: local block of p}``.
+
+    Raises
+    ------
+    IrrecoverableDataLossError
+        If some lost entry is not covered by any surviving copy (more
+        failures than ϕ, or the queue no longer holds the iteration).
+    """
+    failed = tuple(sorted({int(r) for r in failed_ranks}))
+    out: dict[int, np.ndarray] = {}
+    messages = []
+    coverage: dict[int, np.ndarray] = {}
+    for rank in failed:
+        n_local = partition.size_of(rank)
+        lo, _ = partition.bounds(rank)
+        values = np.full(n_local, np.nan, dtype=np.float64)
+        covered = np.zeros(n_local, dtype=bool)
+        for node in cluster.nodes:
+            if not node.alive or node.rank == rank or node.rank in failed:
+                continue
+            piece = node.redundant_for(iteration, rank)
+            if piece is None:
+                continue
+            indices, piece_values = piece
+            local = indices - lo
+            messages.append(
+                (node.rank, rank, indices.nbytes + piece_values.nbytes, channel, False)
+            )
+            values[local] = piece_values
+            covered[local] = True
+        out[rank] = values
+        coverage[rank] = covered
+    if messages:
+        cluster.exchange(messages)
+    for rank in failed:
+        covered = coverage[rank]
+        n_local = partition.size_of(rank)
+        if not covered.all():
+            missing = int((~covered).sum())
+            raise IrrecoverableDataLossError(
+                f"no surviving copy for {missing} of {n_local} entries of rank {rank} "
+                f"at iteration {iteration}; redundancy phi was too small for this failure"
+            )
+    return out

@@ -1,0 +1,151 @@
+"""Communication plan for the distributed sparse matrix-vector product.
+
+Given a sparse matrix ``A`` and a block-row partition, node ``l`` needs,
+besides its own block of the input vector, the entries of ``p`` whose
+global indices appear as *off-block column indices* in its row block
+``A[I_l, :]``.  The paper calls the set of indices owned by ``s`` and
+needed by ``l`` the set ``I_{s,l}`` (§2.2.1); these sets drive both the
+plain SpMV halo exchange and the redundancy analysis of the augmented
+SpMV.
+
+:class:`SpMVPlan` precomputes, once per (matrix, partition):
+
+* for every ordered pair ``(s, l)``: the global indices ``I_{s,l}``,
+  their local offsets in ``s``'s block (for packing), and their
+  positions in ``l``'s ghost buffer (for unpacking);
+* for every node: the sorted ghost-column index list and a
+  column-compressed local CSR matrix whose columns are
+  ``[own block | ghost block]``, so the local product is a single
+  ``csr @ dense`` call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ConfigurationError
+from .partition import BlockRowPartition
+
+
+@dataclasses.dataclass(frozen=True)
+class SendDescriptor:
+    """One (src → dst) leg of the halo exchange."""
+
+    src: int
+    dst: int
+    #: Global indices ``I_{src,dst}`` (sorted ascending).
+    global_indices: np.ndarray
+    #: The same indices as offsets into src's local block.
+    local_indices: np.ndarray
+    #: Positions of these entries inside dst's ghost buffer.
+    ghost_positions: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.global_indices.size)
+
+
+class SpMVPlan:
+    """Precomputed halo-exchange plan for one (matrix, partition) pair."""
+
+    def __init__(self, matrix: sp.csr_matrix, partition: BlockRowPartition):
+        matrix = sp.csr_matrix(matrix)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(f"matrix must be square, got {matrix.shape}")
+        if matrix.shape[0] != partition.n:
+            raise ConfigurationError(
+                f"matrix is {matrix.shape[0]}x{matrix.shape[0]}, partition expects {partition.n}"
+            )
+        self.partition = partition
+        n_nodes = partition.n_nodes
+
+        #: sends[src] = list of SendDescriptor, ordered by dst.
+        self.sends: list[list[SendDescriptor]] = [[] for _ in range(n_nodes)]
+        #: recvs[dst] = list of SendDescriptor, ordered by src (same objects).
+        self.recvs: list[list[SendDescriptor]] = [[] for _ in range(n_nodes)]
+        #: ghost_globals[dst] = sorted global indices of dst's ghost columns.
+        self.ghost_globals: list[np.ndarray] = []
+        #: local_matrices[rank] = column-compressed CSR of A[I_rank, :].
+        self.local_matrices: list[sp.csr_matrix] = []
+        #: nnz of each row block (for flop accounting).
+        self.local_nnz: list[int] = []
+
+        descriptors: dict[tuple[int, int], dict[str, np.ndarray]] = {}
+        for dst in range(n_nodes):
+            lo, hi = partition.bounds(dst)
+            block = matrix[lo:hi, :].tocsr()
+            self.local_nnz.append(int(block.nnz))
+            needed = np.unique(block.indices)
+            ghosts = needed[(needed < lo) | (needed >= hi)]
+            self.ghost_globals.append(ghosts.astype(np.int64))
+
+            # Column compression: [own | ghosts] -> local column ids.
+            col_map = np.empty(partition.n, dtype=np.int64)
+            n_local = hi - lo
+            col_map[lo:hi] = np.arange(n_local)
+            col_map[ghosts] = n_local + np.arange(ghosts.size)
+            compressed = sp.csr_matrix(
+                (block.data, col_map[block.indices], block.indptr),
+                shape=(n_local, n_local + ghosts.size),
+            )
+            self.local_matrices.append(compressed)
+
+            if ghosts.size:
+                owners = partition.owners(ghosts)
+                boundaries = np.flatnonzero(np.diff(owners)) + 1
+                for chunk_idx, chunk in zip(
+                    np.split(np.arange(ghosts.size), boundaries),
+                    np.split(ghosts, boundaries),
+                ):
+                    src = int(owners[chunk_idx[0]])
+                    descriptors[(src, dst)] = {
+                        "global": chunk,
+                        "positions": chunk_idx,
+                    }
+
+        for (src, dst), payload in sorted(descriptors.items()):
+            descriptor = SendDescriptor(
+                src=src,
+                dst=dst,
+                global_indices=payload["global"],
+                local_indices=partition.to_local(src, payload["global"]),
+                ghost_positions=payload["positions"],
+            )
+            self.sends[src].append(descriptor)
+            self.recvs[dst].append(descriptor)
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def n_nodes(self) -> int:
+        return self.partition.n_nodes
+
+    def halo_indices(self, src: int, dst: int) -> np.ndarray:
+        """``I_{src,dst}``: global indices src sends to dst (may be empty)."""
+        for descriptor in self.sends[src]:
+            if descriptor.dst == dst:
+                return descriptor.global_indices
+        return np.empty(0, dtype=np.int64)
+
+    def natural_destinations(self, src: int) -> tuple[int, ...]:
+        """Nodes that receive a (non-empty) natural halo message from src."""
+        return tuple(d.dst for d in self.sends[src] if d.count > 0)
+
+    def multiplicity(self, src: int) -> np.ndarray:
+        """m(i) for every local index of src.
+
+        m(i) is the number of nodes that entry i is sent to during the
+        plain SpMV (§2.2.1); entries with m(i) == 0 would have no
+        off-node copy at all without augmentation.
+        """
+        counts = np.zeros(self.partition.size_of(src), dtype=np.int64)
+        for descriptor in self.sends[src]:
+            counts[descriptor.local_indices] += 1
+        return counts
+
+    def total_halo_entries(self) -> int:
+        """Total vector entries moved per SpMV (all node pairs)."""
+        return sum(d.count for sends in self.sends for d in sends)

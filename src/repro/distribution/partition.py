@@ -1,0 +1,163 @@
+"""Block-row data distribution (S2 in DESIGN.md).
+
+The paper (§1.2) distributes disjoint subsets ``I_s`` of *consecutive*
+indices over the N nodes — the block-row distribution used by PETSc.
+Node ``s`` owns the matrix rows and vector entries whose indices lie in
+``I_s``; scalars are replicated everywhere.
+
+:class:`BlockRowPartition` is the single source of truth for index
+ownership throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import PartitionError
+
+
+class BlockRowPartition:
+    """Partition of ``range(n)`` into N consecutive index blocks.
+
+    Parameters
+    ----------
+    offsets:
+        Monotone array of length ``N+1`` with ``offsets[0] == 0`` and
+        ``offsets[N] == n``; node ``s`` owns indices
+        ``[offsets[s], offsets[s+1])``.  Empty blocks are allowed only
+        for degenerate problems (``n < N``) and are rejected by default
+        because the paper's algorithms assume every node owns rows.
+    """
+
+    def __init__(self, offsets: Sequence[int], allow_empty: bool = False):
+        offsets_arr = np.asarray(offsets, dtype=np.int64)
+        if offsets_arr.ndim != 1 or offsets_arr.size < 2:
+            raise PartitionError("offsets must be a 1-D array of length >= 2")
+        if offsets_arr[0] != 0:
+            raise PartitionError(f"offsets must start at 0, got {offsets_arr[0]}")
+        if np.any(np.diff(offsets_arr) < 0):
+            raise PartitionError("offsets must be non-decreasing")
+        if not allow_empty and np.any(np.diff(offsets_arr) == 0):
+            raise PartitionError(
+                "empty blocks are not allowed (every node must own at least one row); "
+                "reduce the node count or pass allow_empty=True"
+            )
+        self.offsets = offsets_arr
+        self.n_nodes = int(offsets_arr.size - 1)
+        self.n = int(offsets_arr[-1])
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def uniform(cls, n: int, n_nodes: int) -> "BlockRowPartition":
+        """Split ``n`` indices over ``n_nodes`` as evenly as possible.
+
+        The first ``n % n_nodes`` blocks get one extra index, matching
+        the usual MPI decomposition.
+        """
+        if n_nodes < 1:
+            raise PartitionError(f"n_nodes must be >= 1, got {n_nodes}")
+        if n < n_nodes:
+            raise PartitionError(f"cannot give {n_nodes} nodes at least one of {n} rows")
+        base, extra = divmod(n, n_nodes)
+        sizes = [base + (1 if s < extra else 0) for s in range(n_nodes)]
+        return cls(np.concatenate([[0], np.cumsum(sizes)]))
+
+    @classmethod
+    def from_sizes(cls, sizes: Iterable[int]) -> "BlockRowPartition":
+        """Build from explicit per-node block sizes."""
+        sizes_arr = np.asarray(list(sizes), dtype=np.int64)
+        return cls(np.concatenate([[0], np.cumsum(sizes_arr)]))
+
+    @classmethod
+    def aligned_to_blocks(cls, n: int, n_nodes: int, block: int) -> "BlockRowPartition":
+        """Uniform partition whose boundaries are multiples of ``block``.
+
+        Useful for vector-valued problems (e.g. 3 dofs per grid point)
+        where splitting a physical point across nodes would be
+        unnatural.  The last node absorbs the remainder.
+        """
+        if block < 1:
+            raise PartitionError(f"block must be >= 1, got {block}")
+        if n % block != 0:
+            raise PartitionError(f"n={n} is not a multiple of block={block}")
+        groups = n // block
+        if groups < n_nodes:
+            raise PartitionError(f"cannot give {n_nodes} nodes at least one of {groups} blocks")
+        base, extra = divmod(groups, n_nodes)
+        sizes = [(base + (1 if s < extra else 0)) * block for s in range(n_nodes)]
+        return cls(np.concatenate([[0], np.cumsum(sizes)]))
+
+    # ------------------------------------------------------------------ queries
+
+    def size_of(self, rank: int) -> int:
+        """Number of indices owned by ``rank``."""
+        self._check_rank(rank)
+        return int(self.offsets[rank + 1] - self.offsets[rank])
+
+    def bounds(self, rank: int) -> tuple[int, int]:
+        """Half-open global index range ``[lo, hi)`` owned by ``rank``."""
+        self._check_rank(rank)
+        return int(self.offsets[rank]), int(self.offsets[rank + 1])
+
+    def indices(self, rank: int) -> np.ndarray:
+        """The global indices ``I_s`` owned by ``rank`` (ascending)."""
+        lo, hi = self.bounds(rank)
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def indices_of(self, ranks: Iterable[int]) -> np.ndarray:
+        """Union of ``I_s`` for the given ranks (``I_f`` for a failure set)."""
+        parts = [self.indices(r) for r in sorted(set(int(r) for r in ranks))]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def complement_indices(self, ranks: Iterable[int]) -> np.ndarray:
+        """``I \\ I_f``: indices owned by every node *not* in ``ranks``."""
+        excluded = {int(r) for r in ranks}
+        parts = [self.indices(r) for r in range(self.n_nodes) if r not in excluded]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def owner(self, index: int) -> int:
+        """The rank owning global index ``index``."""
+        if not 0 <= index < self.n:
+            raise PartitionError(f"index {index} outside [0, {self.n})")
+        return int(np.searchsorted(self.offsets, index, side="right") - 1)
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`owner` for an array of global indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n):
+            raise PartitionError("index array contains out-of-range entries")
+        return np.searchsorted(self.offsets, indices, side="right") - 1
+
+    def to_local(self, rank: int, global_indices: np.ndarray) -> np.ndarray:
+        """Translate global indices owned by ``rank`` to local offsets."""
+        lo, hi = self.bounds(rank)
+        global_indices = np.asarray(global_indices, dtype=np.int64)
+        if global_indices.size and (
+            global_indices.min() < lo or global_indices.max() >= hi
+        ):
+            raise PartitionError(f"indices not all owned by rank {rank}")
+        return global_indices - lo
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_nodes:
+            raise PartitionError(f"rank {rank} outside [0, {self.n_nodes})")
+
+    # ----------------------------------------------------------------- plumbing
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlockRowPartition) and np.array_equal(
+            self.offsets, other.offsets
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.offsets.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlockRowPartition(n={self.n}, n_nodes={self.n_nodes})"

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the interesting sub-cases (unrecoverable node
+failures, configuration mistakes, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class PartitionError(ConfigurationError):
+    """A block-row partition could not be constructed or is inconsistent."""
+
+
+class ClusterError(ReproError):
+    """The virtual cluster was used in an invalid way."""
+
+
+class DeadNodeError(ClusterError):
+    """An operation addressed a node that is currently failed.
+
+    A failed node's memory is gone; sending to it, receiving from it or
+    reading its vector blocks is a logic error in the caller.
+    """
+
+
+class NodeFailureError(ReproError):
+    """Raised by non-resilient components when a node failure strikes.
+
+    The reference PCG solver has no recovery strategy: a node failure
+    during its run is fatal, exactly as it would be for a plain MPI job
+    without fault-tolerance middleware.
+    """
+
+    def __init__(self, iteration: int, ranks: tuple[int, ...]):
+        self.iteration = int(iteration)
+        self.ranks = tuple(int(r) for r in ranks)
+        super().__init__(
+            f"unrecoverable node failure of ranks {self.ranks} "
+            f"at iteration {self.iteration}"
+        )
+
+
+class RecoveryError(ReproError):
+    """State recovery after a node failure failed."""
+
+
+class IrrecoverableDataLossError(RecoveryError):
+    """Redundant copies do not cover the lost index range.
+
+    This happens when more nodes fail than the configured redundancy ϕ
+    supports, or when a second failure destroys the only surviving copy
+    before the next storage stage replenished the queue.
+    """
+
+
+class ReconstructionUnsupportedError(RecoveryError):
+    """The preconditioner does not support exact state reconstruction.
+
+    ESR/ESRP (Alg. 2 of the paper) must solve ``P_ff r_f = v`` for the
+    rows/columns of the failed nodes.  That requires the preconditioner
+    to be representable as a node-aligned block-diagonal operator
+    (identity, Jacobi, block Jacobi).  Global preconditioners such as
+    SSOR or incomplete Cholesky cannot be restricted this way; IMCR
+    remains available for them.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solve did not reach its tolerance within the budget."""
+
+    def __init__(self, what: str, iterations: int, achieved: float, target: float):
+        self.what = str(what)
+        self.iterations = int(iterations)
+        self.achieved = float(achieved)
+        self.target = float(target)
+        super().__init__(
+            f"{what} did not converge within {iterations} iterations: "
+            f"relative residual {achieved:.3e} > target {target:.3e}"
+        )

@@ -1,0 +1,54 @@
+"""Machine-model calibration for the paper-reproduction benchmarks.
+
+The paper's numbers come from 128 VSC3 nodes (fat tree, Intel MPI).  Our
+virtual cluster runs at a reduced scale (default 16 nodes, ~10⁴ rows),
+so the raw VSC3 constants would put the per-iteration cost composition
+in a different regime (start-up latency would dominate the much smaller
+messages).  The constants below are chosen so that at the benchmark
+scale the failure-free iteration looks like the paper's regime:
+
+* local SpMV computation is the bulk of an iteration,
+* halo exchange is a visible but minor fraction,
+* the two fused dot-product allreduces cost a few percent,
+* one ASpMV extra copy (ϕ=1) adds well under a percent for the
+  banded 27-point matrix — matching the ESR column of Table 2.
+
+Rationale per constant:
+
+``gamma`` — effective sparse-kernel rate ≈ 1.5 GFLOP/s (memory-bound
+SpMV on one core-dominant process, as in the paper's 1 process/node).
+``beta`` — ≈ 6 GB/s effective point-to-point bandwidth.
+``alpha`` — 0.6 µs start-up, QDR-InfiniBand-like.
+``mu`` — ≈ 60 GB/s local copy bandwidth (checkpoint memcpy).
+``hop_penalty`` — fat-tree: +15 % latency per extra hop.
+``noise`` — the benchmarks enable ~1 % log-normal noise and take
+medians of repeated runs, mirroring the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from ..cluster.cost_model import CostModel
+
+#: Deterministic model used by default in benches (noise added on request).
+BENCH_COST_MODEL = CostModel(
+    alpha=6.0e-7,
+    beta=1.6e-10,
+    gamma=1.0e-9,
+    mu=1.5e-11,
+    hop_penalty=0.15,
+    noise=0.0,
+)
+
+
+def bench_cost_model() -> CostModel:
+    """The calibrated deterministic benchmark model."""
+    return BENCH_COST_MODEL
+
+
+def bench_noise_model(noise: float = 0.01) -> CostModel:
+    """The benchmark model with multiplicative log-normal noise.
+
+    Used with ≥5 repetitions + median, like the paper's measurements on
+    a real (noisy) cluster.
+    """
+    return BENCH_COST_MODEL.with_noise(noise)

@@ -1,0 +1,59 @@
+"""Test-problem generators and matrix utilities (S12 in DESIGN.md).
+
+Synthetic SPD model problems standing in for the paper's SuiteSparse
+matrices, plus MatrixMarket I/O (so the genuine matrices can be dropped
+in via ``REPRO_MATRIX_DIR``) and diagnostics.
+"""
+
+from . import suite
+from .analysis import (
+    SparsityStats,
+    condition_estimate,
+    extreme_eigenvalues,
+    is_spd,
+    is_symmetric,
+    sparsity_stats,
+)
+from .elasticity import DOFS_PER_POINT, coupling_block, elasticity_3d, n_unknowns
+from .io_mm import read_matrix_market, read_vector, write_matrix_market, write_vector
+from .poisson import (
+    apply_scaling,
+    layered_scaling,
+    poisson_1d,
+    poisson_2d,
+    poisson_3d,
+    poisson_3d_27pt,
+)
+from .random_spd import random_banded_spd, random_spd_dense_spectrum
+from .suite import PAPER_REFERENCE, ProblemMeta, available_problems, available_scales, load
+
+__all__ = [
+    "DOFS_PER_POINT",
+    "PAPER_REFERENCE",
+    "ProblemMeta",
+    "SparsityStats",
+    "apply_scaling",
+    "available_problems",
+    "available_scales",
+    "condition_estimate",
+    "coupling_block",
+    "elasticity_3d",
+    "extreme_eigenvalues",
+    "is_spd",
+    "is_symmetric",
+    "layered_scaling",
+    "load",
+    "n_unknowns",
+    "poisson_1d",
+    "poisson_2d",
+    "poisson_3d",
+    "poisson_3d_27pt",
+    "random_banded_spd",
+    "random_spd_dense_spectrum",
+    "read_matrix_market",
+    "read_vector",
+    "sparsity_stats",
+    "suite",
+    "write_matrix_market",
+    "write_vector",
+]

@@ -1,0 +1,96 @@
+"""Matrix diagnostics: symmetry/SPD checks, sparsity stats, conditioning.
+
+Used by Table 1 (test-matrix properties) and by tests that assert the
+generators deliver what they promise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..exceptions import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SparsityStats:
+    """Headline sparsity figures of a square sparse matrix."""
+
+    n: int
+    nnz: int
+    nnz_per_row_mean: float
+    nnz_per_row_max: int
+    bandwidth: int
+    symmetric: bool
+
+
+def sparsity_stats(matrix: sp.spmatrix, tol: float = 1e-12) -> SparsityStats:
+    """Compute :class:`SparsityStats` for ``matrix``."""
+    csr = sp.csr_matrix(matrix)
+    if csr.shape[0] != csr.shape[1]:
+        raise ConfigurationError(f"matrix must be square, got {csr.shape}")
+    row_counts = np.diff(csr.indptr)
+    coo = csr.tocoo()
+    bandwidth = int(np.abs(coo.row - coo.col).max()) if csr.nnz else 0
+    return SparsityStats(
+        n=int(csr.shape[0]),
+        nnz=int(csr.nnz),
+        nnz_per_row_mean=float(csr.nnz) / float(csr.shape[0]),
+        nnz_per_row_max=int(row_counts.max()) if row_counts.size else 0,
+        bandwidth=bandwidth,
+        symmetric=is_symmetric(csr, tol),
+    )
+
+
+def is_symmetric(matrix: sp.spmatrix, tol: float = 1e-12) -> bool:
+    """True if ``|A - Aᵀ|_max <= tol * |A|_max``."""
+    csr = sp.csr_matrix(matrix)
+    difference = csr - csr.T
+    if difference.nnz == 0:
+        return True
+    scale = np.abs(csr.data).max() if csr.nnz else 1.0
+    return bool(np.abs(difference.data).max() <= tol * max(scale, 1.0))
+
+
+def extreme_eigenvalues(
+    matrix: sp.spmatrix,
+    tol: float = 1e-6,
+    maxiter: int = 5000,
+) -> tuple[float, float]:
+    """(λ_min, λ_max) of a symmetric matrix via Lanczos (scipy ``eigsh``).
+
+    Intended for the small/medium matrices of tests and Table 1; for
+    the large tiers prefer :func:`condition_estimate` with loose
+    tolerance.
+    """
+    csr = sp.csr_matrix(matrix)
+    if csr.shape[0] < 3:
+        dense = csr.toarray()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        return float(eigenvalues[0]), float(eigenvalues[-1])
+    lam_max = spla.eigsh(
+        csr, k=1, which="LA", tol=tol, maxiter=maxiter, return_eigenvectors=False
+    )[0]
+    lam_min = spla.eigsh(
+        csr, k=1, which="SA", tol=tol, maxiter=maxiter, return_eigenvectors=False
+    )[0]
+    return float(lam_min), float(lam_max)
+
+
+def is_spd(matrix: sp.spmatrix, tol: float = 1e-10) -> bool:
+    """True if the matrix is symmetric with positive smallest eigenvalue."""
+    if not is_symmetric(matrix, tol=1e-10):
+        return False
+    lam_min, _ = extreme_eigenvalues(matrix, tol=1e-4)
+    return lam_min > tol
+
+
+def condition_estimate(matrix: sp.spmatrix, tol: float = 1e-4) -> float:
+    """2-norm condition number estimate λ_max / λ_min (SPD assumed)."""
+    lam_min, lam_max = extreme_eigenvalues(matrix, tol=tol)
+    if lam_min <= 0:
+        return float("inf")
+    return float(lam_max / lam_min)

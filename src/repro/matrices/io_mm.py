@@ -1,0 +1,74 @@
+"""MatrixMarket I/O.
+
+SuiteSparse distributes its matrices (including the paper's Emilia_923
+and audikw_1) in MatrixMarket ``.mtx`` format.  These helpers wrap
+:mod:`scipy.io` with validation and CSR normalisation so the rest of
+the library never sees anything but clean square CSR matrices.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import scipy.io
+import scipy.sparse as sp
+
+from ..exceptions import ConfigurationError
+
+
+def read_matrix_market(path: str | pathlib.Path) -> sp.csr_matrix:
+    """Read a square sparse matrix from a MatrixMarket file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"matrix file not found: {path}")
+    matrix = scipy.io.mmread(path)
+    if not sp.issparse(matrix):
+        matrix = sp.csr_matrix(np.atleast_2d(matrix))
+    matrix = matrix.tocsr()
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ConfigurationError(
+            f"{path} holds a {matrix.shape[0]}x{matrix.shape[1]} matrix; expected square"
+        )
+    return matrix
+
+
+def write_matrix_market(
+    path: str | pathlib.Path,
+    matrix: sp.spmatrix,
+    comment: str = "",
+) -> None:
+    """Write a sparse matrix to a MatrixMarket file (symmetric-aware)."""
+    path = pathlib.Path(path)
+    csr = sp.csr_matrix(matrix)
+    symmetry = "symmetric" if _is_symmetric(csr) else "general"
+    scipy.io.mmwrite(str(path), csr, comment=comment, symmetry=symmetry)
+
+
+def read_vector(path: str | pathlib.Path) -> np.ndarray:
+    """Read a dense vector stored as an ``n x 1`` MatrixMarket array."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"vector file not found: {path}")
+    data = scipy.io.mmread(path)
+    if sp.issparse(data):
+        data = data.toarray()
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim == 2 and 1 in array.shape:
+        array = array.ravel()
+    if array.ndim != 1:
+        raise ConfigurationError(f"{path} does not hold a vector (shape {array.shape})")
+    return array
+
+
+def write_vector(path: str | pathlib.Path, vector: np.ndarray, comment: str = "") -> None:
+    """Write a dense vector as an ``n x 1`` MatrixMarket array."""
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    scipy.io.mmwrite(str(pathlib.Path(path)), vector.reshape(-1, 1), comment=comment)
+
+
+def _is_symmetric(matrix: sp.csr_matrix, tol: float = 0.0) -> bool:
+    difference = matrix - matrix.T
+    if difference.nnz == 0:
+        return True
+    return bool(np.abs(difference.data).max() <= tol)

@@ -1,0 +1,255 @@
+"""Named test problems: stand-ins for the paper's SuiteSparse matrices.
+
+The paper evaluates on two SuiteSparse matrices (Table 1):
+
+====================  ===========  ============  ==========  ========
+Matrix                Problem      Problem size  #NZ         nnz/row
+====================  ===========  ============  ==========  ========
+Emilia_923            Structural   923 136       40 373 538  ≈ 43.7
+audikw_1              Structural   943 695       77 651 847  ≈ 82.3
+====================  ===========  ============  ==========  ========
+
+This environment has no network access to SuiteSparse, and a ~1M-row
+solve with 10 000+ CG iterations is not laptop-scale Python; we follow
+the substitution rule of DESIGN.md §2:
+
+* ``emilia_923_like`` — thin elongated reservoir: scalar
+  jump-coefficient diffusion (layered strata + log-normal inclusions)
+  on a high-aspect-ratio grid, with the sparsity pattern widened to a
+  27-point neighbourhood.  Tightly banded, *many relatively light
+  iterations* (Emilia_923's regime; the real matrix models the thin
+  Emilia-Romagna reservoir).
+* ``audikw_1_like`` — 3-dof vector analogue with an SPD inter-component
+  coupling block: denser rows (≈ 3× the scalar stencil), heavier halos,
+  *fewer, costlier iterations* (audikw_1's regime).
+
+If the real matrices are available locally (MatrixMarket files in the
+directory named by the ``REPRO_MATRIX_DIR`` environment variable, e.g.
+``Emilia_923.mtx``), :func:`load` uses them instead of the stand-ins.
+
+Every problem is returned as ``(A, b, meta)`` with a right-hand side
+``b = A @ x_exact`` for a seeded smooth ``x_exact`` (so examples can
+validate against a known solution) and a ``meta`` record that keeps the
+paper's reference figures next to the generated ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ConfigurationError
+from .elasticity import DOFS_PER_POINT, coupling_block
+from .io_mm import read_matrix_market
+from .poisson import layered_kappa_field, poisson_3d_27pt, variable_poisson_3d
+
+
+def _kron(a, b):
+    """Kronecker product in CSR form (scipy defaults to BSR, whose
+    sums keep duplicate blocks with explicit zeros)."""
+    return sp.kron(a, b, format="csr")
+
+#: Paper reference data (Table 1 + reference runs of Tables 2/3).
+PAPER_REFERENCE = {
+    "emilia_923_like": {
+        "paper_matrix": "Emilia_923",
+        "paper_problem_type": "Structural",
+        "paper_n": 923_136,
+        "paper_nnz": 40_373_538,
+        "paper_iterations": 10_279,
+        "paper_t0_seconds": 14.66,
+    },
+    "audikw_1_like": {
+        "paper_matrix": "audikw_1",
+        "paper_problem_type": "Structural",
+        "paper_n": 943_695,
+        "paper_nnz": 77_651_847,
+        "paper_iterations": 5_543,
+        "paper_t0_seconds": 23.22,
+    },
+}
+
+#: Elongated grids per scale tier: (long_axis, width).  Emilia_923
+#: models a thin, laterally extended gas reservoir; the high aspect
+#: ratio is both physically faithful and what drives the large CG
+#: iteration counts (cond ~ (L/π)²) that the paper's matrices exhibit.
+#: The long axis is the *slowest* index, so the block-row partition
+#: cuts across it and the matrix is tightly banded (small halos, like
+#: the paper's matrices).  audikw_1-like grids are shorter: with the
+#: 3-dof coupling their iteration counts land near half of the
+#: Emilia-like ones, matching the C ratio of Tables 2 and 3.
+_SCALE_GRIDS: dict[str, dict[str, tuple[int, int]]] = {
+    "emilia_923_like": {
+        "tiny": (64, 3),
+        "small": (256, 4),
+        "bench": (768, 4),
+        "large": (1536, 5),
+    },
+    "audikw_1_like": {
+        "tiny": (10, 3),
+        "small": (36, 4),
+        "bench": (104, 4),
+        "large": (208, 5),
+    },
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ProblemMeta:
+    """Descriptive record accompanying a generated test problem."""
+
+    name: str
+    scale: str
+    n: int
+    nnz: int
+    nnz_per_row: float
+    problem_type: str
+    grid: tuple[int, int, int]
+    dofs_per_point: int
+    source: str
+    paper: dict[str, object]
+
+
+def _smooth_solution(n: int, seed: int) -> np.ndarray:
+    """A seeded, smoothly varying exact solution of unit scale."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 1.0, n)
+    coefficients = rng.uniform(-1.0, 1.0, size=4)
+    frequencies = rng.integers(1, 7, size=4)
+    x = sum(c * np.sin(np.pi * f * t) for c, f in zip(coefficients, frequencies))
+    return x + 0.1 * rng.standard_normal(n)
+
+
+def _emilia_like(scale: str, seed: int) -> tuple[sp.csr_matrix, tuple[int, int, int], int]:
+    long_axis, width = _SCALE_GRIDS["emilia_923_like"][scale]
+    grid = (width, width, long_axis)  # (nx, ny, nz): long axis slowest
+    # Thin elongated reservoir with layered jump coefficients: the
+    # aspect ratio drives cond(P⁻¹A) ~ (long/π)² (Emilia-like thousands
+    # of CG iterations); the strata/inclusions add the geomechanics
+    # flavour; the small uniform 27-point FEM term widens the stencil
+    # towards Emilia_923's denser rows.
+    kappa = layered_kappa_field(grid, n_layers=8, contrast=10.0, inclusion_sigma=0.4, seed=seed)
+    matrix = variable_poisson_3d(grid, kappa, dirichlet_axes=(0,))
+    matrix = _widen_stencil(matrix, grid)
+    return matrix, grid, 1
+
+
+def _audikw_like(scale: str, seed: int) -> tuple[sp.csr_matrix, tuple[int, int, int], int]:
+    long_axis, width = _SCALE_GRIDS["audikw_1_like"][scale]
+    grid = (width, width, long_axis)
+    # Vector-valued (3-dof) analogue: jump-coefficient scalar operator
+    # with a wide stencil, coupled across components by a 3x3 SPD block
+    # (kron), giving audikw_1-like ~81 nnz/row, heavier halos, and a
+    # shorter aspect ratio (fewer but costlier iterations than Emilia).
+    kappa = layered_kappa_field(grid, n_layers=5, contrast=10.0, inclusion_sigma=0.4, seed=seed)
+    scalar = variable_poisson_3d(grid, kappa, dirichlet_axes=(0,))
+    scalar = _widen_stencil(scalar, grid)
+    matrix = _kron(scalar, sp.csr_matrix(coupling_block(0.45))).tocsr()
+    return matrix, grid, DOFS_PER_POINT
+
+
+def _widen_stencil(matrix: sp.csr_matrix, grid: tuple[int, int, int]) -> sp.csr_matrix:
+    """Blend in a numerically negligible 27-point term.
+
+    The paper's matrices have much denser rows (43.7 / 82.3 nnz) than a
+    7-point stencil; row density governs the SpMV compute:communication
+    ratio and the natural halo redundancy, both of which matter for the
+    ASpMV overhead story.  Adding ``ε·A27`` with ε ≈ 1e-8·mean(diag)
+    widens the sparsity pattern (and hence halos and message sizes) to
+    a 27-point neighbourhood without perturbing the spectrum that
+    controls CG convergence.
+    """
+    epsilon = 1e-8 * float(matrix.diagonal().mean())
+    return (matrix + epsilon * poisson_3d_27pt(*grid)).tocsr()
+
+
+_GENERATORS: dict[str, Callable[[str, int], tuple[sp.csr_matrix, tuple[int, int, int], int]]] = {
+    "emilia_923_like": _emilia_like,
+    "audikw_1_like": _audikw_like,
+}
+
+
+def available_problems() -> tuple[str, ...]:
+    """Names accepted by :func:`load`."""
+    return tuple(sorted(_GENERATORS))
+
+
+def available_scales() -> tuple[str, ...]:
+    """Scale tiers accepted by :func:`load`."""
+    return tuple(_SCALE_GRIDS["emilia_923_like"])
+
+
+def _try_real_matrix(name: str) -> sp.csr_matrix | None:
+    """Load the genuine SuiteSparse matrix if the user provides it."""
+    directory = os.environ.get("REPRO_MATRIX_DIR")
+    if not directory:
+        return None
+    paper_name = PAPER_REFERENCE[name]["paper_matrix"]
+    path = pathlib.Path(directory) / f"{paper_name}.mtx"
+    if not path.exists():
+        return None
+    return read_matrix_market(path)
+
+
+def load(
+    name: str,
+    scale: str = "bench",
+    seed: int = 2020,
+) -> tuple[sp.csr_matrix, np.ndarray, ProblemMeta]:
+    """Load a named test problem.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_problems`.
+    scale:
+        Size tier (``tiny``/``small``/``bench``/``large``); ignored when
+        the genuine matrix is found via ``REPRO_MATRIX_DIR``.
+    seed:
+        Seed for the layered scaling and the exact solution.
+
+    Returns
+    -------
+    ``(A, b, meta)`` with ``A`` in CSR format and ``b = A @ x_exact``.
+    """
+    if name not in _GENERATORS:
+        raise ConfigurationError(
+            f"unknown problem {name!r}; available: {', '.join(available_problems())}"
+        )
+    if scale not in _SCALE_GRIDS[name]:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; available: {', '.join(available_scales())}"
+        )
+
+    real = _try_real_matrix(name)
+    if real is not None:
+        matrix = real
+        grid = (0, 0, 0)
+        dofs = 1
+        source = "suitesparse"
+        scale = "native"
+    else:
+        matrix, grid, dofs = _GENERATORS[name](scale, seed)
+        source = "synthetic-stand-in"
+
+    x_exact = _smooth_solution(matrix.shape[0], seed + 1)
+    b = matrix @ x_exact
+
+    meta = ProblemMeta(
+        name=name,
+        scale=scale,
+        n=int(matrix.shape[0]),
+        nnz=int(matrix.nnz),
+        nnz_per_row=float(matrix.nnz) / float(matrix.shape[0]),
+        problem_type="Structural",
+        grid=grid,
+        dofs_per_point=dofs,
+        source=source,
+        paper=dict(PAPER_REFERENCE[name]),
+    )
+    return matrix, b, meta

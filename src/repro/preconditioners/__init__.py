@@ -1,0 +1,61 @@
+"""Preconditioners (S6 in DESIGN.md) and their factory.
+
+The paper uses node-aligned block Jacobi with block size ≤ 10; the
+other operators support the preconditioner ablation the paper lists as
+future work, including one (polynomial/Neumann) that is deliberately
+*not* reconstruction-compatible.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from .base import BlockDiagonalPreconditioner, Preconditioner
+from .block_jacobi import BlockJacobiPreconditioner, split_into_blocks
+from .ichol import BlockICholPreconditioner, ic0_factor
+from .identity import IdentityPreconditioner
+from .jacobi import JacobiPreconditioner
+from .polynomial import PRECOND_HALO_CHANNEL, PolynomialPreconditioner
+from .ssor import BlockSSORPreconditioner
+
+_FACTORY = {
+    "identity": IdentityPreconditioner,
+    "jacobi": JacobiPreconditioner,
+    "block_jacobi": BlockJacobiPreconditioner,
+    "block_ssor": BlockSSORPreconditioner,
+    "block_ichol": BlockICholPreconditioner,
+    "polynomial": PolynomialPreconditioner,
+}
+
+
+def available_preconditioners() -> tuple[str, ...]:
+    """Names accepted by :func:`make_preconditioner`."""
+    return tuple(sorted(_FACTORY))
+
+
+def make_preconditioner(name: str, **kwargs) -> Preconditioner:
+    """Instantiate a preconditioner by name (kwargs go to its constructor)."""
+    try:
+        factory = _FACTORY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preconditioner {name!r}; available: "
+            f"{', '.join(available_preconditioners())}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "BlockDiagonalPreconditioner",
+    "BlockICholPreconditioner",
+    "BlockJacobiPreconditioner",
+    "BlockSSORPreconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "PRECOND_HALO_CHANNEL",
+    "PolynomialPreconditioner",
+    "Preconditioner",
+    "available_preconditioners",
+    "ic0_factor",
+    "make_preconditioner",
+    "split_into_blocks",
+]

@@ -1,0 +1,73 @@
+"""Polynomial (truncated Neumann) preconditioner — a *global* operator.
+
+``P = Σ_{k=0}^{d} (I - ω D⁻¹ A)^k · ω D⁻¹``, applied with Horner's
+rule: each application performs ``d`` distributed SpMVs (halo exchanges
+included).  With ``ω < 1`` and an SPD, Jacobi-scalable ``A`` the
+operator is SPD (partial geometric sum of a contraction).
+
+Unlike the block preconditioners, ``P`` couples entries across node
+boundaries: ``P_{I_f, I\\I_f} ≠ 0`` and ``P_ff`` is not available as a
+local operator, so **exact state reconstruction cannot use it**
+(``supports_reconstruction = False``).  It exists precisely to
+demonstrate that trade-off in the preconditioner ablation: IMCR accepts
+it, ESR/ESRP refuses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distribution.matrix import DistributedMatrix
+from ..distribution.spmv import SpMVExecutor
+from ..distribution.vector import DistributedVector
+from ..exceptions import ConfigurationError
+from .base import Preconditioner
+
+#: Statistics channel for the halo traffic of preconditioner SpMVs.
+PRECOND_HALO_CHANNEL = "precond_halo"
+
+
+class PolynomialPreconditioner(Preconditioner):
+    """Truncated Neumann-series preconditioner of degree ``d``."""
+
+    name = "polynomial"
+    supports_reconstruction = False
+
+    def __init__(self, degree: int = 2, omega: float = 0.9):
+        super().__init__()
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {degree}")
+        if not 0.0 < omega <= 1.0:
+            raise ConfigurationError(f"omega must be in (0, 1], got {omega}")
+        self.degree = int(degree)
+        self.omega = float(omega)
+
+    def _setup_impl(self, matrix: DistributedMatrix) -> None:
+        diagonal = matrix.diagonal()
+        if np.any(diagonal <= 0):
+            raise ConfigurationError("polynomial preconditioner needs a positive diagonal")
+        partition = matrix.partition
+        self._scaled_inv_diag = [
+            self.omega / diagonal[partition.bounds(rank)[0] : partition.bounds(rank)[1]]
+            for rank in range(partition.n_nodes)
+        ]
+        self._executor = SpMVExecutor(matrix)
+        self._work = DistributedVector(matrix.cluster, partition)
+        self._acc = DistributedVector(matrix.cluster, partition)
+
+    def apply(self, r: DistributedVector, out: DistributedVector) -> None:
+        """Horner evaluation: z ← ωD⁻¹r; repeat z ← z + ωD⁻¹(r − A z)."""
+        cluster = self.matrix.cluster
+        n_nodes = self.matrix.partition.n_nodes
+        acc = self._acc
+        for rank in range(n_nodes):
+            acc.blocks[rank][:] = self._scaled_inv_diag[rank] * r.blocks[rank]
+            cluster.compute(rank, acc.blocks[rank].size)
+        for _ in range(self.degree):
+            self._executor.multiply(acc, out=self._work, channel=PRECOND_HALO_CHANNEL)
+            for rank in range(n_nodes):
+                residual = r.blocks[rank] - self._work.blocks[rank]
+                acc.blocks[rank] += self._scaled_inv_diag[rank] * residual
+                cluster.compute(rank, 3 * acc.blocks[rank].size)
+        for rank in range(n_nodes):
+            out.blocks[rank][:] = acc.blocks[rank]

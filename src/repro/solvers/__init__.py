@@ -1,0 +1,29 @@
+"""Distributed PCG solvers (S5, S7 in DESIGN.md)."""
+
+from .engine import (
+    NoResilience,
+    PCGEngine,
+    ResilienceStrategy,
+    SolveOptions,
+    SolveResult,
+)
+from .inner import INNER_RTOL, InnerSolveReport, inner_pcg, serial_block_jacobi
+from .reference import solve_reference
+from .residual_replacement import ResidualReplacer
+from .state import PCGState, STATE_VECTOR_NAMES
+
+__all__ = [
+    "INNER_RTOL",
+    "InnerSolveReport",
+    "NoResilience",
+    "PCGEngine",
+    "PCGState",
+    "ResidualReplacer",
+    "ResilienceStrategy",
+    "STATE_VECTOR_NAMES",
+    "SolveOptions",
+    "SolveResult",
+    "inner_pcg",
+    "serial_block_jacobi",
+    "solve_reference",
+]

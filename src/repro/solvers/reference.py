@@ -1,0 +1,42 @@
+"""Reference (non-resilient) distributed PCG — Alg. 1 of the paper.
+
+The reference solver defines the baseline time t₀ of the paper's
+relative-overhead metric.  It pays only the natural SpMV halo exchange
+and the dot-product reductions; it stores no redundant data, and a node
+failure during its run raises :class:`~repro.exceptions.NodeFailureError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.failures import FailureSchedule
+from ..distribution.matrix import DistributedMatrix
+from ..distribution.vector import DistributedVector
+from ..preconditioners.base import Preconditioner
+from .engine import NoResilience, PCGEngine, SolveOptions, SolveResult
+
+
+def solve_reference(
+    matrix: DistributedMatrix,
+    b: np.ndarray | DistributedVector,
+    preconditioner: Preconditioner,
+    options: SolveOptions | None = None,
+    failures: FailureSchedule | None = None,
+    x0: np.ndarray | None = None,
+) -> SolveResult:
+    """Run plain PCG (no resilience) and return its result.
+
+    ``failures`` may be passed to demonstrate that the reference solver
+    cannot survive one (it raises); reference timing runs leave it
+    empty.
+    """
+    engine = PCGEngine(
+        matrix=matrix,
+        b=b,
+        preconditioner=preconditioner,
+        strategy=NoResilience(),
+        options=options,
+        failures=failures,
+    )
+    return engine.solve(x0=x0)

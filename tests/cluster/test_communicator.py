@@ -1,0 +1,203 @@
+"""Unit tests for the virtual cluster (clocks, accounting, failures)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CostModel, VirtualCluster, zero_cost_model
+from repro.distribution import BlockRowPartition, DistributedVector
+from repro.exceptions import ClusterError, ConfigurationError, DeadNodeError
+
+
+def costed_cluster(n=4, alpha=1e-6, beta=1e-9, gamma=1e-9):
+    model = CostModel(alpha=alpha, beta=beta, gamma=gamma, mu=1e-11, hop_penalty=0.0)
+    return VirtualCluster(n, cost_model=model, seed=0)
+
+
+class TestClocks:
+    def test_initial_time_zero(self):
+        assert costed_cluster().elapsed() == 0.0
+
+    def test_compute_advances_one_clock(self):
+        cluster = costed_cluster()
+        cluster.compute(1, 1e6)
+        assert cluster.clocks[1] == pytest.approx(1e-3)
+        assert cluster.clocks[0] == 0.0
+
+    def test_send_makes_receiver_wait_for_sender(self):
+        cluster = costed_cluster()
+        cluster.compute(0, 1e6)  # sender busy until 1e-3
+        cluster.send(0, 1, 1000, channel="test")
+        assert cluster.clocks[1] >= cluster.clocks[0]
+        assert cluster.clocks[0] > 1e-3
+
+    def test_send_does_not_rewind_receiver(self):
+        cluster = costed_cluster()
+        cluster.compute(1, 1e9)  # receiver far ahead
+        before = cluster.clocks[1]
+        cluster.send(0, 1, 8, channel="test")
+        assert cluster.clocks[1] == before
+
+    def test_allreduce_synchronises(self):
+        cluster = costed_cluster()
+        cluster.compute(2, 1e6)
+        cluster.allreduce(8)
+        assert np.all(cluster.clocks == cluster.clocks[0])
+        assert cluster.clocks[0] > 1e-3
+
+    def test_barrier_synchronises_without_cost(self):
+        cluster = costed_cluster()
+        cluster.compute(3, 1e6)
+        cluster.barrier()
+        assert np.all(cluster.clocks == cluster.clocks[3])
+
+    def test_advance_raw(self):
+        cluster = costed_cluster()
+        cluster.advance(0, 0.5)
+        assert cluster.clocks[0] == 0.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            costed_cluster().advance(0, -1.0)
+
+    def test_memcpy_charges_mu(self):
+        cluster = costed_cluster()
+        cluster.memcpy(0, 10**6)
+        assert cluster.clocks[0] == pytest.approx(1e-5)
+
+
+class TestAccounting:
+    def test_send_records_channel(self):
+        cluster = costed_cluster()
+        cluster.send(0, 1, 100, channel="halo")
+        assert cluster.stats.total_bytes("halo") == 100
+        assert cluster.stats.total_messages("halo") == 1
+
+    def test_piggyback_adds_bytes_not_messages(self):
+        cluster = costed_cluster()
+        cluster.send(0, 1, 100, channel="halo")
+        cluster.piggyback(0, 1, 50, channel="extra")
+        assert cluster.stats.total_bytes("extra") == 50
+        assert cluster.stats.total_messages("extra") == 0
+
+    def test_compute_records_flops(self):
+        cluster = costed_cluster()
+        cluster.compute(0, 123.0)
+        assert cluster.stats.total_flops() == pytest.approx(123.0)
+
+    def test_reset_stats_keeps_clocks(self):
+        cluster = costed_cluster()
+        cluster.compute(0, 1e6)
+        t = cluster.elapsed()
+        cluster.reset_stats()
+        assert cluster.stats.total_flops() == 0.0
+        assert cluster.elapsed() == t
+
+
+class TestFailureSemantics:
+    def test_fail_marks_dead(self):
+        cluster = costed_cluster()
+        cluster.fail([1, 2])
+        assert cluster.dead_ranks() == (1, 2)
+        assert cluster.alive_ranks() == (0, 3)
+
+    def test_dead_node_cannot_compute(self):
+        cluster = costed_cluster()
+        cluster.fail([1])
+        with pytest.raises(DeadNodeError):
+            cluster.compute(1, 1.0)
+
+    def test_dead_node_cannot_send_or_receive(self):
+        cluster = costed_cluster()
+        cluster.fail([1])
+        with pytest.raises(DeadNodeError):
+            cluster.send(0, 1, 8, channel="x")
+        with pytest.raises(DeadNodeError):
+            cluster.send(1, 0, 8, channel="x")
+
+    def test_fail_wipes_registered_vector_blocks(self):
+        cluster = VirtualCluster(4, cost_model=zero_cost_model(), seed=0)
+        partition = BlockRowPartition.uniform(8, 4)
+        vec = DistributedVector.from_global(cluster, partition, np.arange(8.0))
+        cluster.fail([2])
+        assert np.all(vec.blocks[2] == 0.0)
+        assert np.all(vec.blocks[0] == [0.0, 1.0])
+
+    def test_unregistered_vector_survives(self):
+        cluster = VirtualCluster(4, cost_model=zero_cost_model(), seed=0)
+        partition = BlockRowPartition.uniform(8, 4)
+        vec = DistributedVector.from_global(
+            cluster, partition, np.arange(8.0), register=False
+        )
+        cluster.fail([2])
+        assert np.all(vec.blocks[2] == [4.0, 5.0])
+
+    def test_fail_wipes_node_stores(self):
+        cluster = costed_cluster()
+        node = cluster.node(1)
+        node.store["x"] = np.ones(3)
+        node.scalars["beta"] = 2.0
+        node.stash_redundant(5, 0, np.array([0]), np.array([1.0]))
+        cluster.fail([1])
+        assert node.store == {}
+        assert node.scalars == {}
+        assert node.redundancy == {}
+
+    def test_fail_everything_rejected(self):
+        with pytest.raises(ClusterError):
+            costed_cluster().fail([0, 1, 2, 3])
+
+    def test_fail_requires_ranks(self):
+        with pytest.raises(ConfigurationError):
+            costed_cluster().fail([])
+
+    def test_double_fail_rejected(self):
+        cluster = costed_cluster()
+        cluster.fail([1])
+        with pytest.raises(DeadNodeError):
+            cluster.fail([1])
+
+    def test_replace_revives_with_current_clock(self):
+        cluster = costed_cluster()
+        cluster.compute(0, 1e9)
+        cluster.fail([1])
+        cluster.replace([1])
+        node = cluster.node(1)
+        assert node.alive
+        assert node.incarnation == 1
+        assert cluster.clocks[1] == pytest.approx(cluster.elapsed())
+
+    def test_replace_alive_rejected(self):
+        cluster = costed_cluster()
+        with pytest.raises(ClusterError):
+            cluster.replace([0])
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ClusterError):
+            costed_cluster().send(1, 1, 8, channel="x")
+
+
+class TestConstruction:
+    def test_topology_size_mismatch_rejected(self):
+        from repro.cluster.topology import Ring
+
+        with pytest.raises(ConfigurationError):
+            VirtualCluster(4, topology=Ring(8))
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualCluster(0)
+
+    def test_default_topology_is_fat_tree(self):
+        from repro.cluster.topology import FatTree
+
+        assert isinstance(VirtualCluster(4).topology, FatTree)
+
+    def test_noise_reproducible_across_same_seed(self):
+        model = CostModel(alpha=1e-6, beta=1e-9, gamma=1e-9, noise=0.1)
+        times = []
+        for _ in range(2):
+            cluster = VirtualCluster(2, cost_model=model, seed=99)
+            cluster.compute(0, 1e6)
+            cluster.send(0, 1, 1000, channel="x")
+            times.append(cluster.elapsed())
+        assert times[0] == times[1]

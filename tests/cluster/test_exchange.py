@@ -1,0 +1,115 @@
+"""Tests for the concurrent communication-phase semantics.
+
+The key property: a phase of simultaneous messages must cost
+``max over nodes`` of their injection time, not the serialized chain
+that per-message ``send()`` calls would accumulate (receivers resuming
+their own sends only after a receive).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CostModel, VirtualCluster
+from repro.exceptions import ClusterError, DeadNodeError
+
+
+def cluster_with(alpha=1e-6, beta=0.0, n=8):
+    model = CostModel(alpha=alpha, beta=beta, gamma=0.0, mu=0.0, hop_penalty=0.0)
+    return VirtualCluster(n, cost_model=model, seed=0)
+
+
+class TestConcurrentPhase:
+    def test_ring_phase_costs_one_message_not_n(self):
+        cluster = cluster_with(alpha=1e-6, n=8)
+        messages = [(s, (s + 1) % 8, 0, "x", False) for s in range(8)]
+        cluster.exchange(messages)
+        # each node sends one message concurrently: makespan = alpha
+        assert cluster.elapsed() == pytest.approx(1e-6)
+
+    def test_chained_sends_would_serialize(self):
+        cluster = cluster_with(alpha=1e-6, n=8)
+        for s in range(8):
+            cluster.send(s, (s + 1) % 8, 0, channel="x")
+        # the old per-message path chains: strictly more than one alpha
+        assert cluster.elapsed() > 2e-6
+
+    def test_multiple_sends_per_node_accumulate_on_sender(self):
+        cluster = cluster_with(alpha=1e-6, n=4)
+        messages = [(0, 1, 0, "x", False), (0, 2, 0, "x", False), (0, 3, 0, "x", False)]
+        cluster.exchange(messages)
+        assert cluster.clocks[0] == pytest.approx(3e-6)
+        # receivers wait for the sender's injections to finish
+        assert cluster.clocks[1] == pytest.approx(3e-6)
+
+    def test_receiver_waits_for_latest_arrival(self):
+        cluster = cluster_with(alpha=1e-6, n=4)
+        cluster.advance(2, 5e-6)  # node 2 starts late
+        messages = [(0, 1, 0, "x", False), (2, 1, 0, "x", False)]
+        cluster.exchange(messages)
+        assert cluster.clocks[1] == pytest.approx(6e-6)  # 5e-6 + alpha
+
+    def test_piggyback_entries_add_bytes_without_latency(self):
+        model = CostModel(alpha=1e-6, beta=1e-9, gamma=0.0, mu=0.0, hop_penalty=0.0)
+        cluster = VirtualCluster(4, cost_model=model, seed=0)
+        cluster.exchange(
+            [(0, 1, 1000, "halo", False)],
+            piggyback=[(0, 1, 500, "extra")],
+        )
+        assert cluster.clocks[0] == pytest.approx(1e-6 + 1500e-9)
+        assert cluster.stats.total_messages("extra") == 0
+        assert cluster.stats.total_bytes("extra") == 500
+
+    def test_bytes_recorded_per_channel(self):
+        cluster = cluster_with(beta=1e-9)
+        cluster.exchange([(0, 1, 100, "a", False), (1, 2, 200, "b", False)])
+        assert cluster.stats.total_bytes("a") == 100
+        assert cluster.stats.total_bytes("b") == 200
+        assert cluster.stats.total_messages() == 2
+
+    def test_merged_flag_in_messages(self):
+        cluster = cluster_with(alpha=1e-3, beta=1e-9)
+        cluster.exchange([(0, 1, 100, "a", True)])  # merged: no alpha
+        assert cluster.clocks[0] == pytest.approx(100e-9)
+
+    def test_empty_phase_is_noop(self):
+        cluster = cluster_with()
+        cluster.exchange([])
+        assert cluster.elapsed() == 0.0
+
+    def test_dead_endpoints_rejected(self):
+        cluster = cluster_with()
+        cluster.fail([2])
+        with pytest.raises(DeadNodeError):
+            cluster.exchange([(0, 2, 8, "x", False)])
+        with pytest.raises(DeadNodeError):
+            cluster.exchange([(2, 0, 8, "x", False)])
+
+    def test_self_message_rejected(self):
+        cluster = cluster_with()
+        with pytest.raises(ClusterError):
+            cluster.exchange([(1, 1, 8, "x", False)])
+
+    def test_clocks_never_go_backwards(self):
+        cluster = cluster_with(alpha=1e-6)
+        cluster.advance(1, 1.0)
+        cluster.exchange([(0, 1, 0, "x", False)])
+        assert cluster.clocks[1] == 1.0
+
+
+class TestPhaseInteraction:
+    def test_checkpoint_phase_scales_with_buddies_not_nodes(self):
+        """The motivating bug: an all-nodes checkpoint round must cost
+        O(phi) message times, not O(N)."""
+        model = CostModel(alpha=1e-6, beta=0.0, gamma=0.0, mu=0.0, hop_penalty=0.0)
+        costs = {}
+        for n in (8, 32):
+            cluster = VirtualCluster(n, cost_model=model, seed=0)
+            messages = [
+                (rank, (rank + k) % n, 1000, "checkpoint", False)
+                for rank in range(n)
+                for k in (1, 2)
+            ]
+            cluster.exchange(messages)
+            costs[n] = cluster.elapsed()
+        assert costs[8] == pytest.approx(costs[32])
+        assert costs[8] == pytest.approx(2e-6)

@@ -1,0 +1,134 @@
+"""Unit tests for failure events, schedules and generators."""
+
+import pytest
+
+from repro.cluster.failures import (
+    FailureEvent,
+    FailureSchedule,
+    block_failure_ranks,
+    contiguous_ranks,
+    poisson_schedule,
+    switch_fault_ranks,
+)
+from repro.cluster.topology import FatTree
+from repro.exceptions import ConfigurationError
+
+
+class TestFailureEvent:
+    def test_ranks_sorted_and_deduped(self):
+        event = FailureEvent(5, (3, 1, 3))
+        assert event.ranks == (1, 3)
+        assert event.width == 2
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureEvent(-1, (0,))
+
+    def test_empty_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureEvent(0, ())
+
+
+class TestFailureSchedule:
+    def test_events_sorted_by_iteration(self):
+        schedule = FailureSchedule([FailureEvent(9, (0,)), FailureEvent(2, (1,))])
+        assert [e.iteration for e in schedule] == [2, 9]
+
+    def test_pop_due_consumes_once(self):
+        schedule = FailureSchedule([FailureEvent(5, (0,))])
+        assert schedule.pop_due(4) is None
+        event = schedule.pop_due(5)
+        assert event is not None and event.iteration == 5
+        assert schedule.pop_due(5) is None  # rollback re-execution safe
+
+    def test_pending_and_reset(self):
+        schedule = FailureSchedule([FailureEvent(1, (0,)), FailureEvent(2, (1,))])
+        assert schedule.pending() == 2
+        schedule.pop_due(1)
+        assert schedule.pending() == 1
+        schedule.reset()
+        assert schedule.pending() == 2
+
+    def test_len(self):
+        assert len(FailureSchedule()) == 0
+
+
+class TestContiguousRanks:
+    def test_simple_block(self):
+        assert contiguous_ranks(2, 3, 8) == (2, 3, 4)
+
+    def test_wraparound(self):
+        assert contiguous_ranks(6, 3, 8) == (0, 6, 7)
+
+    def test_width_must_leave_survivor(self):
+        with pytest.raises(ConfigurationError):
+            contiguous_ranks(0, 8, 8)
+
+    def test_width_positive(self):
+        with pytest.raises(ConfigurationError):
+            contiguous_ranks(0, 0, 8)
+
+
+class TestBlockLocations:
+    def test_start(self):
+        assert block_failure_ranks("start", 3, 16) == (0, 1, 2)
+
+    def test_center(self):
+        assert block_failure_ranks("center", 3, 16) == (8, 9, 10)
+
+    def test_unknown_location(self):
+        with pytest.raises(ConfigurationError):
+            block_failure_ranks("edge", 1, 16)
+
+
+class TestSwitchFault:
+    def test_whole_leaf(self):
+        topo = FatTree(16, radix=4)
+        assert switch_fault_ranks(topo, 1) == (4, 5, 6, 7)
+
+    def test_partial_leaf(self):
+        topo = FatTree(16, radix=4)
+        assert switch_fault_ranks(topo, 1, width=2) == (4, 5)
+
+    def test_width_bounds(self):
+        topo = FatTree(16, radix=4)
+        with pytest.raises(ConfigurationError):
+            switch_fault_ranks(topo, 0, width=5)
+
+    def test_cannot_kill_whole_cluster(self):
+        topo = FatTree(4, radix=4)
+        with pytest.raises(ConfigurationError):
+            switch_fault_ranks(topo, 0)
+
+
+class TestPoissonSchedule:
+    def test_reproducible(self):
+        a = poisson_schedule(50, 1000, 2, 16, seed=1)
+        b = poisson_schedule(50, 1000, 2, 16, seed=1)
+        assert [e.iteration for e in a] == [e.iteration for e in b]
+
+    def test_within_horizon(self):
+        schedule = poisson_schedule(20, 500, 1, 8, seed=3)
+        assert all(0 <= e.iteration < 500 for e in schedule)
+
+    def test_mean_rate_roughly_matches(self):
+        schedule = poisson_schedule(25, 10000, 1, 8, seed=5)
+        # expectation 400 events; allow generous slack
+        assert 250 < len(schedule) < 550
+
+    def test_width_respected(self):
+        schedule = poisson_schedule(10, 300, 3, 8, seed=0)
+        assert all(e.width == 3 for e in schedule)
+
+    def test_invalid_mtbf(self):
+        with pytest.raises(ConfigurationError):
+            poisson_schedule(0, 100, 1, 8)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            poisson_schedule(10, 0, 1, 8)
+
+    def test_min_gap_enforced(self):
+        schedule = poisson_schedule(1, 200, 1, 8, seed=2, min_gap=5)
+        iterations = [e.iteration for e in schedule]
+        assert all(b - a >= 5 for a, b in zip(iterations, iterations[1:]))

@@ -1,0 +1,79 @@
+"""Unit tests for per-node state (redundancy stashes, failure wipes)."""
+
+import numpy as np
+
+from repro.cluster.node import NodeState
+
+
+class TestRedundancyStore:
+    def test_stash_and_retrieve(self):
+        node = NodeState(0)
+        node.stash_redundant(3, 1, np.array([10, 11]), np.array([1.0, 2.0]))
+        idx, vals = node.redundant_for(3, 1)
+        assert list(idx) == [10, 11]
+        assert list(vals) == [1.0, 2.0]
+
+    def test_stash_concatenates_same_owner(self):
+        node = NodeState(0)
+        node.stash_redundant(3, 1, np.array([10]), np.array([1.0]))
+        node.stash_redundant(3, 1, np.array([12]), np.array([3.0]))
+        idx, vals = node.redundant_for(3, 1)
+        assert sorted(idx) == [10, 12]
+        assert len(vals) == 2
+
+    def test_different_iterations_separate(self):
+        node = NodeState(0)
+        node.stash_redundant(3, 1, np.array([1]), np.array([1.0]))
+        node.stash_redundant(4, 1, np.array([2]), np.array([2.0]))
+        assert node.redundant_for(3, 1) is not None
+        assert node.redundant_for(4, 1) is not None
+        assert list(node.redundant_for(4, 1)[0]) == [2]
+
+    def test_missing_returns_none(self):
+        node = NodeState(0)
+        assert node.redundant_for(1, 0) is None
+        node.stash_redundant(1, 2, np.array([0]), np.array([0.5]))
+        assert node.redundant_for(1, 3) is None
+
+    def test_drop_redundant(self):
+        node = NodeState(0)
+        node.stash_redundant(3, 1, np.array([1]), np.array([1.0]))
+        node.drop_redundant(3)
+        assert node.redundant_for(3, 1) is None
+
+    def test_drop_missing_is_noop(self):
+        NodeState(0).drop_redundant(99)
+
+    def test_redundancy_bytes_counts_everything(self):
+        node = NodeState(0)
+        assert node.redundancy_bytes() == 0
+        node.stash_redundant(1, 2, np.arange(4, dtype=np.int64), np.zeros(4))
+        node.store["x"] = np.zeros(8)
+        node.buddy_checkpoints[3] = {"x": np.zeros(2), "iteration": 1}
+        expected = 4 * 8 + 4 * 8 + 8 * 8 + 2 * 8
+        assert node.redundancy_bytes() == expected
+
+
+class TestFailure:
+    def test_wipe_clears_everything(self):
+        node = NodeState(2)
+        node.store["a"] = np.ones(2)
+        node.scalars["b"] = 1.0
+        node.stash_redundant(0, 1, np.array([0]), np.array([1.0]))
+        node.buddy_checkpoints[1] = {"x": np.ones(2)}
+        node.wipe()
+        assert not node.alive
+        assert node.store == {}
+        assert node.scalars == {}
+        assert node.redundancy == {}
+        assert node.buddy_checkpoints == {}
+
+    def test_revive_increments_incarnation(self):
+        node = NodeState(2)
+        node.wipe()
+        node.revive()
+        assert node.alive
+        assert node.incarnation == 1
+        node.wipe()
+        node.revive()
+        assert node.incarnation == 2

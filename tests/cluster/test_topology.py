@@ -1,0 +1,102 @@
+"""Unit tests for network topologies."""
+
+import pytest
+
+from repro.cluster.topology import FatTree, FullyConnected, Ring, make_topology
+from repro.exceptions import ConfigurationError
+
+
+class TestFullyConnected:
+    def test_self_distance_zero(self):
+        topo = FullyConnected(5)
+        assert topo.hops(2, 2) == 0
+
+    def test_all_pairs_one_hop(self):
+        topo = FullyConnected(5)
+        assert all(topo.hops(i, j) == 1 for i in range(5) for j in range(5) if i != j)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FullyConnected(4).hops(0, 4)
+
+
+class TestRing:
+    def test_neighbours(self):
+        topo = Ring(8)
+        assert topo.hops(0, 1) == 1
+        assert topo.hops(0, 7) == 1  # wraparound
+
+    def test_antipode(self):
+        assert Ring(8).hops(0, 4) == 4
+
+    def test_symmetry(self):
+        topo = Ring(7)
+        for i in range(7):
+            for j in range(7):
+                assert topo.hops(i, j) == topo.hops(j, i)
+
+
+class TestFatTree:
+    def test_same_node(self):
+        assert FatTree(16, radix=4).hops(3, 3) == 0
+
+    def test_same_leaf_two_hops(self):
+        topo = FatTree(16, radix=4)
+        assert topo.hops(0, 3) == 2
+
+    def test_cross_leaf_four_hops(self):
+        topo = FatTree(16, radix=4)
+        assert topo.hops(0, 4) == 4
+
+    def test_leaf_of_contiguous_blocks(self):
+        topo = FatTree(16, radix=4)
+        assert topo.leaf_of(0) == 0
+        assert topo.leaf_of(5) == 1
+        assert topo.ranks_under_leaf(1) == (4, 5, 6, 7)
+
+    def test_last_leaf_may_be_partial(self):
+        topo = FatTree(10, radix=4)
+        assert topo.n_leaves == 3
+        assert topo.ranks_under_leaf(2) == (8, 9)
+
+    def test_hops_match_graph_shortest_paths(self):
+        topo = FatTree(12, radix=4)
+        for src in range(12):
+            for dst in range(12):
+                if src == dst:
+                    continue
+                assert topo.hops(src, dst) == topo._shortest_path_hops(src, dst)
+
+    def test_invalid_leaf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTree(8, radix=4).ranks_under_leaf(2)
+
+    def test_invalid_radix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTree(8, radix=0)
+
+    def test_graph_node_count(self):
+        topo = FatTree(8, radix=4)
+        graph = topo.graph()
+        # 8 nodes + 2 leaves + 1 spine
+        assert graph.number_of_nodes() == 11
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_topology("fat_tree", 8), FatTree)
+        assert isinstance(make_topology("fat-tree", 8), FatTree)
+        assert isinstance(make_topology("ring", 8), Ring)
+        assert isinstance(make_topology("full", 8), FullyConnected)
+
+    def test_kwargs_forwarded(self):
+        topo = make_topology("fat_tree", 16, radix=2)
+        assert topo.radix == 2
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_topology("torus", 8)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Ring(0)

@@ -1,0 +1,140 @@
+"""Tests for the approximate-recovery baselines (related-work methods)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster import FailureEvent, FailureSchedule
+from repro.core import make_strategy
+from repro.core.baselines import (
+    FullRestartStrategy,
+    LeastSquaresRecovery,
+    LinearInterpolationRecovery,
+)
+from repro.events import EventKind
+from repro.preconditioners import make_preconditioner
+from repro.solvers import PCGEngine, SolveOptions
+
+from ..conftest import make_distributed
+
+N_NODES = 4
+
+
+@pytest.fixture(scope="module")
+def problem():
+    matrix, b, _ = repro.matrices.load("emilia_923_like", scale="tiny")
+    return matrix, b
+
+
+def run(problem, strategy, failures=None, maxiter=None):
+    matrix, b = problem
+    cluster, partition, dmatrix = make_distributed(matrix, N_NODES)
+    engine = PCGEngine(
+        matrix=dmatrix,
+        b=b,
+        preconditioner=make_preconditioner("block_jacobi"),
+        strategy=strategy,
+        options=SolveOptions(rtol=1e-8, maxiter=maxiter),
+        failures=FailureSchedule(failures or []),
+    )
+    return engine.solve()
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return run(problem, repro.solvers.NoResilience())
+
+
+class TestFullRestart:
+    def test_converges_after_failure(self, problem, reference):
+        mid = reference.iterations // 2
+        result = run(problem, FullRestartStrategy(), [FailureEvent(mid, (1,))])
+        assert result.converged
+        assert np.allclose(result.x, reference.x, atol=1e-6)
+
+    def test_costs_roughly_double(self, problem, reference):
+        mid = reference.iterations // 2
+        result = run(problem, FullRestartStrategy(), [FailureEvent(mid, (1,))])
+        # restart from scratch at C/2: total iterations ~ 1.5x C
+        assert result.iterations > reference.iterations * 1.2
+
+    def test_no_failure_free_overhead_traffic(self, problem):
+        result = run(problem, FullRestartStrategy())
+        assert result.stats.get("bytes[aspmv_extra]", 0.0) == 0.0
+        assert result.stats.get("bytes[checkpoint]", 0.0) == 0.0
+
+
+class TestLinearInterpolation:
+    def test_converges_after_failure(self, problem, reference):
+        mid = reference.iterations // 2
+        result = run(
+            problem, LinearInterpolationRecovery(), [FailureEvent(mid, (1,))]
+        )
+        assert result.converged
+        assert np.allclose(result.x, reference.x, atol=1e-6)
+
+    def test_cheaper_than_full_restart(self, problem, reference):
+        mid = reference.iterations // 2
+        restart = run(problem, FullRestartStrategy(), [FailureEvent(mid, (1,))])
+        lininterp = run(
+            problem, LinearInterpolationRecovery(), [FailureEvent(mid, (1,))]
+        )
+        assert lininterp.iterations < restart.iterations
+
+    def test_more_expensive_than_exact_esr(self, problem, reference):
+        mid = reference.iterations // 2
+        esr = run(problem, make_strategy("esr", phi=1), [FailureEvent(mid, (1,))])
+        lininterp = run(
+            problem, LinearInterpolationRecovery(), [FailureEvent(mid, (1,))]
+        )
+        # exact reconstruction preserves the trajectory; interpolation
+        # restarts the Krylov space and needs extra iterations
+        assert esr.iterations <= lininterp.iterations
+
+    def test_multi_node_failure(self, problem, reference):
+        mid = reference.iterations // 2
+        result = run(
+            problem, LinearInterpolationRecovery(), [FailureEvent(mid, (1, 2))]
+        )
+        assert result.converged
+
+
+class TestLeastSquares:
+    def test_converges_after_failure(self, problem, reference):
+        mid = reference.iterations // 2
+        result = run(problem, LeastSquaresRecovery(), [FailureEvent(mid, (1,))])
+        assert result.converged
+        assert np.allclose(result.x, reference.x, atol=1e-6)
+
+    def test_residual_not_much_worse_after_recovery(self, problem, reference):
+        """Agullo et al.: the post-recovery residual never increases.
+
+        We check the residual right after recovery against the residual
+        right before the failure using the recorded history.
+        """
+        matrix, b = problem
+        mid = reference.iterations // 2
+        result = run(problem, LeastSquaresRecovery(), [FailureEvent(mid, (1,))])
+        history = result.residual_history
+        # the iteration after the failure must not blow up
+        assert history[mid] < 10 * history[mid - 1]
+
+    def test_events_mark_recovery(self, problem, reference):
+        mid = reference.iterations // 2
+        result = run(problem, LeastSquaresRecovery(), [FailureEvent(mid, (2,))])
+        assert len(result.events.of_kind(EventKind.RECOVERY_START)) == 1
+
+
+class TestFactoryNames:
+    def test_aliases(self):
+        assert isinstance(make_strategy("lininterp"), LinearInterpolationRecovery)
+        assert isinstance(make_strategy("li"), LinearInterpolationRecovery)
+        assert isinstance(make_strategy("lsq"), LeastSquaresRecovery)
+        assert isinstance(make_strategy("full_restart"), FullRestartStrategy)
+        assert isinstance(make_strategy("cr", T=10), repro.IMCRStrategy)
+
+    def test_unknown_strategy(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_strategy("raid5")

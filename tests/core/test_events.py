@@ -1,0 +1,73 @@
+"""Unit tests for the structured event log."""
+
+from repro.events import Event, EventKind, EventLog
+
+
+class TestEventLog:
+    def test_record_appends_and_returns(self):
+        log = EventLog()
+        event = log.record(EventKind.ITERATION, iteration=5, time=1.0, note="x")
+        assert isinstance(event, Event)
+        assert len(log) == 1
+        assert log[0].detail["note"] == "x"
+
+    def test_iteration_defaults(self):
+        log = EventLog()
+        event = log.record(EventKind.SOLVE_START)
+        assert event.iteration == -1
+        assert event.time == 0.0
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        log.record(EventKind.CHECKPOINT, iteration=10)
+        log.record(EventKind.NODE_FAILURE, iteration=12)
+        log.record(EventKind.CHECKPOINT, iteration=20)
+        assert [e.iteration for e in log.of_kind(EventKind.CHECKPOINT)] == [10, 20]
+
+    def test_first_and_last(self):
+        log = EventLog()
+        assert log.first(EventKind.WARNING) is None
+        assert log.last(EventKind.WARNING) is None
+        log.record(EventKind.WARNING, iteration=1)
+        log.record(EventKind.WARNING, iteration=2)
+        assert log.first(EventKind.WARNING).iteration == 1
+        assert log.last(EventKind.WARNING).iteration == 2
+
+    def test_iterable(self):
+        log = EventLog()
+        log.record(EventKind.SOLVE_START)
+        log.record(EventKind.SOLVE_END)
+        kinds = [e.kind for e in log]
+        assert kinds == [EventKind.SOLVE_START, EventKind.SOLVE_END]
+
+
+class TestRecoveryTime:
+    def test_single_span(self):
+        log = EventLog()
+        log.record(EventKind.RECOVERY_START, time=2.0)
+        log.record(EventKind.RECOVERY_END, time=5.5)
+        assert log.recovery_time() == 3.5
+
+    def test_multiple_spans_accumulate(self):
+        log = EventLog()
+        log.record(EventKind.RECOVERY_START, time=1.0)
+        log.record(EventKind.RECOVERY_END, time=2.0)
+        log.record(EventKind.RECOVERY_START, time=10.0)
+        log.record(EventKind.RECOVERY_END, time=14.0)
+        assert log.recovery_time() == 5.0
+
+    def test_unclosed_span_ignored(self):
+        log = EventLog()
+        log.record(EventKind.RECOVERY_START, time=1.0)
+        assert log.recovery_time() == 0.0
+
+    def test_no_spans(self):
+        assert EventLog().recovery_time() == 0.0
+
+    def test_intervening_events_do_not_break_span(self):
+        log = EventLog()
+        log.record(EventKind.RECOVERY_START, time=0.0)
+        log.record(EventKind.WARNING, time=0.5)
+        log.record(EventKind.RESTART, time=0.7)
+        log.record(EventKind.RECOVERY_END, time=1.0)
+        assert log.recovery_time() == 1.0

@@ -1,0 +1,124 @@
+"""Tests for the reconstruction report, interval formulas and no-spare ESR."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster import FailureEvent
+from repro.core.interval import (
+    daly_interval,
+    expected_waste_fraction,
+    optimal_interval_iterations,
+    young_interval,
+)
+from repro.core.no_spare import solve_without_spares
+from repro.exceptions import ConfigurationError
+from repro.solvers import SolveOptions
+
+
+class TestYoungDaly:
+    def test_young_closed_form(self):
+        assert young_interval(10.0, 2000.0) == pytest.approx(math.sqrt(2 * 10 * 2000))
+
+    def test_daly_close_to_young_for_small_delta(self):
+        y = young_interval(1.0, 1e6)
+        d = daly_interval(1.0, 1e6)
+        assert d == pytest.approx(y, rel=1e-2)
+
+    def test_daly_saturates_at_mtbf(self):
+        assert daly_interval(100.0, 40.0) == 40.0
+
+    def test_waste_minimised_near_young(self):
+        delta, mtbf = 5.0, 1000.0
+        t_opt = young_interval(delta, mtbf)
+        w_opt = expected_waste_fraction(t_opt, delta, mtbf)
+        assert w_opt < expected_waste_fraction(t_opt / 3, delta, mtbf)
+        assert w_opt < expected_waste_fraction(t_opt * 3, delta, mtbf)
+
+    def test_optimal_interval_iterations(self):
+        t = optimal_interval_iterations(
+            checkpoint_cost_seconds=0.01,
+            mtbf_seconds=100.0,
+            seconds_per_iteration=0.001,
+            formula="young",
+        )
+        assert t == pytest.approx(math.sqrt(2 * 0.01 * 100) / 0.001, rel=0.01)
+
+    def test_minimum_interval_enforced(self):
+        t = optimal_interval_iterations(1e-9, 1e-6, 1.0, formula="young")
+        assert t == 3  # ESRP requires T >= 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            young_interval(-1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            young_interval(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            expected_waste_fraction(0.0, 1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            optimal_interval_iterations(1.0, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            optimal_interval_iterations(1.0, 1.0, 1.0, formula="magic")
+
+
+class TestNoSpare:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        matrix, b, _ = repro.matrices.load("emilia_923_like", scale="tiny")
+        return matrix, b
+
+    def test_failure_free_case(self, problem):
+        matrix, b = problem
+        outcome = solve_without_spares(matrix, b, n_nodes=4, failure=None)
+        assert outcome.result.converged
+        assert outcome.failure_iteration is None
+        assert outcome.survivors == 4
+
+    def test_continues_on_survivors(self, problem):
+        matrix, b = problem
+        reference = repro.solve(matrix, b, n_nodes=4, strategy="reference")
+        failure = FailureEvent(reference.iterations // 2, (1,))
+        outcome = solve_without_spares(
+            matrix, b, n_nodes=4, failure=failure, phi=1
+        )
+        assert outcome.result.converged
+        assert outcome.survivors == 3
+        assert outcome.migrated_bytes > 0
+        assert np.allclose(outcome.result.x, reference.x, atol=1e-6)
+
+    def test_continuation_restarts_from_exact_iterand(self, problem):
+        """The iterand is exact; the recursion restarts on the new cluster.
+
+        Total work = C/2 before the failure + a fresh solve started from
+        the recovered x — which must converge faster than from scratch.
+        """
+        matrix, b = problem
+        reference = repro.solve(matrix, b, n_nodes=4, strategy="reference")
+        failure = FailureEvent(reference.iterations // 2, (2,))
+        outcome = solve_without_spares(matrix, b, n_nodes=4, failure=failure)
+        continuation = outcome.result.iterations
+        assert continuation < reference.iterations  # warm start helps
+        assert outcome.result.converged
+
+    def test_multiple_failed_ranks(self, problem):
+        matrix, b = problem
+        reference = repro.solve(matrix, b, n_nodes=4, strategy="reference")
+        failure = FailureEvent(reference.iterations // 2, (1, 2))
+        outcome = solve_without_spares(
+            matrix, b, n_nodes=4, failure=failure, phi=2
+        )
+        assert outcome.result.converged
+        assert outcome.survivors == 2
+
+    def test_options_forwarded(self, problem):
+        matrix, b = problem
+        outcome = solve_without_spares(
+            matrix,
+            b,
+            n_nodes=4,
+            failure=None,
+            options=SolveOptions(rtol=1e-6),
+        )
+        assert outcome.result.relative_residual < 1e-6

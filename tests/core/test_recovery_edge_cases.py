@@ -1,0 +1,120 @@
+"""Edge-case recovery scenarios beyond the paper's single-event protocol."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster import FailureSchedule
+from repro.core import ESRPStrategy, ESRStrategy, IMCRStrategy
+from repro.events import EventKind
+from repro.preconditioners import make_preconditioner
+from repro.solvers import PCGEngine, SolveOptions
+
+from ..conftest import make_distributed
+
+
+@pytest.fixture(scope="module")
+def problem():
+    matrix, b, _ = repro.matrices.load("emilia_923_like", scale="tiny")
+    return matrix, b
+
+
+def run(problem, strategy, failures, n_nodes=8, maxiter=None):
+    matrix, b = problem
+    cluster, partition, dmatrix = make_distributed(matrix, n_nodes)
+    engine = PCGEngine(
+        matrix=dmatrix,
+        b=b,
+        preconditioner=make_preconditioner("block_jacobi"),
+        strategy=strategy,
+        options=SolveOptions(rtol=1e-8, maxiter=maxiter),
+        failures=FailureSchedule(failures),
+    )
+    return engine.solve()
+
+
+class TestRepeatedFailures:
+    def test_same_rank_fails_twice(self, problem):
+        """A replaced node can fail again later and be replaced again."""
+        result = run(
+            problem,
+            ESRStrategy(phi=1),
+            [repro.FailureEvent(20, (3,)), repro.FailureEvent(40, (3,))],
+        )
+        assert result.converged
+        assert len(result.events.of_kind(EventKind.NODE_FAILURE)) == 2
+
+    def test_back_to_back_failures_within_one_interval(self, problem):
+        """Two events inside one ESRP interval: the second one hits the
+        partially-degraded queue and must still converge (possibly via
+        the restart fallback)."""
+        result = run(
+            problem,
+            ESRPStrategy(T=10, phi=1),
+            [repro.FailureEvent(14, (1,)), repro.FailureEvent(16, (2,))],
+        )
+        assert result.converged
+
+    def test_failure_of_all_but_one_node(self, problem):
+        """phi = N-1: the maximal protection level on this cluster."""
+        matrix, b = problem
+        reference = repro.solve(matrix, b, n_nodes=4, strategy="reference")
+        result = repro.solve(
+            matrix, b, n_nodes=4, strategy="esr", phi=3,
+            failures=[repro.FailureEvent(reference.iterations // 2, (0, 1, 2))],
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, reference.x, atol=1e-7)
+
+    def test_imcr_buddy_chain_fallback(self, problem):
+        """Second failure kills a buddy holding the first victim's data:
+        retrieval walks to the next buddy or restarts — never corrupts."""
+        result = run(
+            problem,
+            IMCRStrategy(T=10, phi=2),
+            [repro.FailureEvent(15, (2,)), repro.FailureEvent(17, (3,))],
+        )
+        assert result.converged
+
+    def test_failure_on_the_very_last_iterations(self, problem):
+        matrix, b = problem
+        reference = repro.solve(matrix, b, n_nodes=8, strategy="reference")
+        result = run(
+            problem,
+            ESRStrategy(phi=1),
+            [repro.FailureEvent(reference.iterations - 1, (5,))],
+        )
+        assert result.converged
+        assert result.iterations == reference.iterations
+
+
+class TestDegenerateConfigurations:
+    def test_interval_longer_than_solve(self, problem):
+        """T > C: no storage stage ever completes; failures restart."""
+        matrix, b = problem
+        reference = repro.solve(matrix, b, n_nodes=8, strategy="reference")
+        result = run(
+            problem,
+            ESRPStrategy(T=10 * reference.iterations, phi=1),
+            [repro.FailureEvent(reference.iterations // 2, (1,))],
+        )
+        assert result.converged
+        assert result.events.first(EventKind.RESTART) is not None
+
+    def test_phi_exceeding_cluster_is_capped(self, problem):
+        result = run(problem, ESRStrategy(phi=100), [repro.FailureEvent(20, (1,))])
+        assert result.converged
+
+    def test_two_node_cluster(self, problem):
+        matrix, b = problem
+        result = repro.solve(
+            matrix, b, n_nodes=2, strategy="esr", phi=1,
+            failures=[repro.FailureEvent(25, (0,))],
+        )
+        assert result.converged
+
+    def test_failure_free_run_touches_no_recovery_machinery(self, problem):
+        result = run(problem, ESRPStrategy(T=10, phi=2), [])
+        assert result.recovery_time == 0.0
+        assert not result.events.of_kind(EventKind.RECOVERY_START)
+        assert not result.events.of_kind(EventKind.NODE_FAILURE)

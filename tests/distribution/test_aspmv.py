@@ -1,0 +1,208 @@
+"""Unit tests for the augmented SpMV (redundancy machinery of §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.redundancy import RedundancyQueue
+from repro.distribution import (
+    ASpMVExecutor,
+    DistributedVector,
+    RedundancyPlan,
+    eq1_destinations,
+    gather_redundant_copy,
+)
+from repro.exceptions import ConfigurationError, IrrecoverableDataLossError
+from repro.matrices import poisson_1d, random_banded_spd
+
+from ..conftest import make_distributed
+
+
+class TestEq1Destinations:
+    def test_first_four_neighbours(self):
+        # k odd: s + ceil(k/2); k even: s - k/2  =>  +1, -1, +2, -2
+        assert eq1_destinations(5, 4, 16) == (6, 4, 7, 3)
+
+    def test_wraparound(self):
+        assert eq1_destinations(0, 2, 8) == (1, 7)
+        assert eq1_destinations(7, 2, 8) == (0, 6)
+
+    def test_phi_capped_at_n_minus_one(self):
+        dests = eq1_destinations(0, 10, 4)
+        assert len(dests) == 3
+        assert set(dests) == {1, 2, 3}
+
+    def test_no_self_and_no_duplicates(self):
+        for n in (2, 3, 5, 8):
+            for s in range(n):
+                dests = eq1_destinations(s, n - 1, n)
+                assert s not in dests
+                assert len(set(dests)) == len(dests)
+
+    def test_phi_zero_empty(self):
+        assert eq1_destinations(3, 0, 8) == ()
+
+    def test_negative_phi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            eq1_destinations(0, -1, 8)
+
+
+class TestRedundancyPlanInvariant:
+    @pytest.mark.parametrize("rule", ["paper", "greedy"])
+    @pytest.mark.parametrize("phi", [1, 2, 3])
+    def test_min_copies_at_least_phi(self, rule, phi):
+        matrix = random_banded_spd(32, bandwidth=5, density=0.6, seed=9)
+        _, _, dmatrix = make_distributed(matrix, 4)
+        plan = RedundancyPlan(dmatrix.plan, phi, rule=rule)
+        assert plan.min_copies() >= min(phi, 3)
+
+    @pytest.mark.parametrize("rule", ["paper", "greedy"])
+    def test_invariant_on_diagonal_matrix(self, rule):
+        # No natural halo at all: every entry must be sent explicitly.
+        import scipy.sparse as sp
+
+        matrix = sp.identity(16, format="csr")
+        _, _, dmatrix = make_distributed(matrix, 4)
+        plan = RedundancyPlan(dmatrix.plan, 2, rule=rule)
+        assert plan.min_copies() >= 2
+        # identity has zero natural sends, so extras = phi * n
+        assert plan.extra_entries() == 2 * 16
+
+    def test_greedy_never_sends_more_than_paper(self):
+        matrix = random_banded_spd(40, bandwidth=7, density=0.5, seed=11)
+        _, _, dmatrix = make_distributed(matrix, 5)
+        for phi in (1, 2, 3):
+            paper = RedundancyPlan(dmatrix.plan, phi, rule="paper")
+            greedy = RedundancyPlan(dmatrix.plan, phi, rule="greedy")
+            assert greedy.extra_entries() <= paper.extra_entries()
+
+    def test_piggyback_detection(self):
+        matrix = poisson_1d(16)  # neighbours exchange naturally
+        _, _, dmatrix = make_distributed(matrix, 4)
+        plan = RedundancyPlan(dmatrix.plan, 1, rule="paper")
+        for src in range(4):
+            for transfer in plan.extras[src]:
+                natural = dmatrix.plan.natural_destinations(src)
+                assert transfer.piggyback == (transfer.dst in natural)
+
+    def test_invalid_rule_rejected(self):
+        matrix = poisson_1d(8)
+        _, _, dmatrix = make_distributed(matrix, 2)
+        with pytest.raises(ConfigurationError):
+            RedundancyPlan(dmatrix.plan, 1, rule="magic")
+
+    def test_phi_zero_rejected(self):
+        matrix = poisson_1d(8)
+        _, _, dmatrix = make_distributed(matrix, 2)
+        with pytest.raises(ConfigurationError):
+            RedundancyPlan(dmatrix.plan, 0)
+
+
+class TestAugmentedMultiply:
+    def setup_executor(self, phi=2, n=24, n_nodes=4):
+        matrix = random_banded_spd(n, bandwidth=4, density=0.7, seed=3)
+        cluster, partition, dmatrix = make_distributed(matrix, n_nodes)
+        executor = ASpMVExecutor(dmatrix, phi=phi)
+        return matrix, cluster, partition, executor
+
+    def test_product_matches_plain(self):
+        matrix, cluster, partition, executor = self.setup_executor()
+        x = np.random.default_rng(5).standard_normal(24)
+        dx = DistributedVector.from_global(cluster, partition, x)
+        queue = RedundancyQueue(2)
+        result = executor.multiply_augmented(dx, 0, queue)
+        assert np.allclose(result.to_global(), matrix @ x)
+
+    def test_redundant_copy_reconstructs_input(self):
+        matrix, cluster, partition, executor = self.setup_executor(phi=2)
+        x = np.random.default_rng(6).standard_normal(24)
+        dx = DistributedVector.from_global(cluster, partition, x)
+        queue = RedundancyQueue(2)
+        executor.multiply_augmented(dx, 7, queue)
+        # Fail one node; its block must be recoverable from survivors.
+        cluster.fail([1])
+        cluster.replace([1])
+        gathered = gather_redundant_copy(cluster, partition, 7, [1])
+        lo, hi = partition.bounds(1)
+        assert np.allclose(gathered[1], x[lo:hi])
+
+    def test_two_simultaneous_failures_with_phi2(self):
+        matrix, cluster, partition, executor = self.setup_executor(phi=2)
+        x = np.random.default_rng(7).standard_normal(24)
+        dx = DistributedVector.from_global(cluster, partition, x)
+        queue = RedundancyQueue(2)
+        executor.multiply_augmented(dx, 1, queue)
+        cluster.fail([1, 2])
+        cluster.replace([1, 2])
+        gathered = gather_redundant_copy(cluster, partition, 1, [1, 2])
+        for rank in (1, 2):
+            lo, hi = partition.bounds(rank)
+            assert np.allclose(gathered[rank], x[lo:hi])
+
+    def test_gather_insufficient_redundancy_raises(self):
+        matrix, cluster, partition, executor = self.setup_executor(phi=1)
+        x = np.random.default_rng(8).standard_normal(24)
+        dx = DistributedVector.from_global(cluster, partition, x)
+        queue = RedundancyQueue(2)
+        executor.multiply_augmented(dx, 0, queue)
+        # phi=1 cannot survive 3 simultaneous failures of adjacent nodes.
+        cluster.fail([0, 1, 2])
+        cluster.replace([0, 1, 2])
+        with pytest.raises(IrrecoverableDataLossError):
+            gather_redundant_copy(cluster, partition, 0, [0, 1, 2])
+
+    def test_gather_missing_iteration_raises(self):
+        matrix, cluster, partition, executor = self.setup_executor(phi=1)
+        x = DistributedVector.from_global(
+            cluster, partition, np.ones(24)
+        )
+        queue = RedundancyQueue(2)
+        executor.multiply_augmented(x, 0, queue)
+        cluster.fail([1])
+        cluster.replace([1])
+        with pytest.raises(IrrecoverableDataLossError):
+            gather_redundant_copy(cluster, partition, 99, [1])
+
+    def test_queue_eviction_drops_node_stashes(self):
+        matrix, cluster, partition, executor = self.setup_executor(phi=1)
+        queue = RedundancyQueue(2)
+        x = DistributedVector.from_global(cluster, partition, np.ones(24))
+        for j in range(3):
+            executor.multiply_augmented(x, j, queue)
+        assert queue.items == (1, 2)
+        for node in cluster.nodes:
+            assert 0 not in node.redundancy
+
+    def test_repush_same_iteration_replaces_stash(self):
+        matrix, cluster, partition, executor = self.setup_executor(phi=1)
+        queue = RedundancyQueue(3)
+        x = DistributedVector.from_global(cluster, partition, np.ones(24))
+        executor.multiply_augmented(x, 5, queue)
+        executor.multiply_augmented(x, 5, queue)  # rollback re-execution
+        assert queue.items == (5,)
+        # stash must not have duplicated entries
+        for node in cluster.nodes:
+            piece = node.redundant_for(5, (node.rank + 1) % 4)
+            if piece is not None:
+                idx, _ = piece
+                assert len(np.unique(idx)) == len(idx)
+
+    def test_extra_channel_accounting(self):
+        from repro.cluster import CostModel, VirtualCluster
+        from repro.distribution import BlockRowPartition, DistributedMatrix
+
+        matrix = poisson_1d(16)
+        model = CostModel(alpha=0, beta=1.0, gamma=0, mu=0, hop_penalty=0)
+        cluster = VirtualCluster(4, cost_model=model, seed=0)
+        partition = BlockRowPartition.uniform(16, 4)
+        dmatrix = DistributedMatrix(cluster, partition, matrix)
+        executor = ASpMVExecutor(dmatrix, phi=1)
+        queue = RedundancyQueue(2)
+        dx = DistributedVector.from_global(cluster, partition, np.ones(16))
+        executor.multiply_augmented(dx, 0, queue)
+        extra_entries = executor.redundancy.extra_entries()
+        assert cluster.stats.total_bytes("aspmv_extra") == 8 * extra_entries
+        assert extra_entries > 0
+
+    def test_phi_property(self):
+        _, _, _, executor = self.setup_executor(phi=2)
+        assert executor.phi == 2

@@ -1,0 +1,87 @@
+"""Unit tests for the distributed matrix wrapper."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.matrices import random_banded_spd
+
+from ..conftest import make_distributed
+
+
+class TestBlocks:
+    def test_row_block_matches_global(self, small_spd):
+        _, partition, dmatrix = make_distributed(small_spd, 4)
+        rows = dmatrix.row_block([1])
+        lo, hi = partition.bounds(1)
+        assert np.allclose(rows.toarray(), small_spd[lo:hi, :].toarray())
+
+    def test_row_block_multiple_ranks(self, small_spd):
+        _, partition, dmatrix = make_distributed(small_spd, 4)
+        rows = dmatrix.row_block([0, 2])
+        idx = partition.indices_of([0, 2])
+        assert np.allclose(rows.toarray(), small_spd[idx, :].toarray())
+
+    def test_submatrix(self, small_spd):
+        _, partition, dmatrix = make_distributed(small_spd, 4)
+        sub = dmatrix.submatrix([1, 2])
+        idx = partition.indices_of([1, 2])
+        assert np.allclose(sub.toarray(), small_spd[np.ix_(idx, idx)].toarray())
+
+    def test_coupling_block(self, small_spd):
+        _, partition, dmatrix = make_distributed(small_spd, 4)
+        coupling = dmatrix.coupling_block([1])
+        lost = partition.indices_of([1])
+        kept = partition.complement_indices([1])
+        assert np.allclose(
+            coupling.toarray(), small_spd[np.ix_(lost, kept)].toarray()
+        )
+
+    def test_diagonal_block(self, small_spd):
+        _, partition, dmatrix = make_distributed(small_spd, 4)
+        lo, hi = partition.bounds(3)
+        assert np.allclose(
+            dmatrix.diagonal_block(3).toarray(), small_spd[lo:hi, lo:hi].toarray()
+        )
+
+    def test_diagonal(self, small_spd):
+        _, _, dmatrix = make_distributed(small_spd, 4)
+        assert np.allclose(dmatrix.diagonal(), small_spd.diagonal())
+
+    def test_bandwidth(self):
+        matrix = random_banded_spd(30, bandwidth=4, density=1.0, seed=0)
+        _, _, dmatrix = make_distributed(matrix, 3)
+        assert dmatrix.bandwidth() == 4
+
+    def test_local_nnz_sums_to_total(self, small_spd):
+        _, _, dmatrix = make_distributed(small_spd, 4)
+        assert sum(dmatrix.local_nnz(r) for r in range(4)) == small_spd.nnz
+
+
+class TestValidation:
+    def test_non_square_rejected(self, cluster4):
+        from repro.distribution import BlockRowPartition, DistributedMatrix
+
+        with pytest.raises(ConfigurationError):
+            DistributedMatrix(
+                cluster4,
+                BlockRowPartition.uniform(4, 4),
+                sp.random(4, 5, density=0.5),
+            )
+
+    def test_partition_size_mismatch(self, cluster4):
+        from repro.distribution import BlockRowPartition, DistributedMatrix
+
+        with pytest.raises(ConfigurationError):
+            DistributedMatrix(
+                cluster4, BlockRowPartition.uniform(8, 4), sp.identity(6)
+            )
+
+    def test_nodes_mismatch(self, small_spd):
+        from repro.cluster import VirtualCluster, zero_cost_model
+        from repro.distribution import BlockRowPartition, DistributedMatrix
+
+        cluster = VirtualCluster(2, cost_model=zero_cost_model())
+        with pytest.raises(ConfigurationError):
+            DistributedMatrix(cluster, BlockRowPartition.uniform(40, 4), small_spd)

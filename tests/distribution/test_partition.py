@@ -1,0 +1,126 @@
+"""Unit tests for the block-row partition."""
+
+import numpy as np
+import pytest
+
+from repro.distribution.partition import BlockRowPartition
+from repro.exceptions import PartitionError
+
+
+class TestUniform:
+    def test_even_split(self):
+        part = BlockRowPartition.uniform(12, 4)
+        assert [part.size_of(r) for r in range(4)] == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_first_blocks(self):
+        part = BlockRowPartition.uniform(10, 4)
+        assert [part.size_of(r) for r in range(4)] == [3, 3, 2, 2]
+
+    def test_covers_everything(self):
+        part = BlockRowPartition.uniform(17, 5)
+        union = np.concatenate([part.indices(r) for r in range(5)])
+        assert np.array_equal(np.sort(union), np.arange(17))
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(PartitionError):
+            BlockRowPartition.uniform(3, 4)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(PartitionError):
+            BlockRowPartition.uniform(4, 0)
+
+
+class TestFromSizes:
+    def test_explicit_sizes(self):
+        part = BlockRowPartition.from_sizes([2, 5, 3])
+        assert part.n == 10
+        assert part.bounds(1) == (2, 7)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(PartitionError):
+            BlockRowPartition.from_sizes([2, 0, 3])
+
+
+class TestAlignedToBlocks:
+    def test_multiples_of_block(self):
+        part = BlockRowPartition.aligned_to_blocks(30, 4, 3)
+        for rank in range(4):
+            assert part.size_of(rank) % 3 == 0
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(PartitionError):
+            BlockRowPartition.aligned_to_blocks(31, 4, 3)
+
+    def test_not_enough_groups_rejected(self):
+        with pytest.raises(PartitionError):
+            BlockRowPartition.aligned_to_blocks(9, 4, 3)
+
+
+class TestQueries:
+    @pytest.fixture
+    def part(self):
+        return BlockRowPartition.from_sizes([3, 4, 3])
+
+    def test_owner(self, part):
+        assert part.owner(0) == 0
+        assert part.owner(2) == 0
+        assert part.owner(3) == 1
+        assert part.owner(9) == 2
+
+    def test_owner_out_of_range(self, part):
+        with pytest.raises(PartitionError):
+            part.owner(10)
+
+    def test_owners_vectorised(self, part):
+        owners = part.owners(np.array([0, 3, 7, 9]))
+        assert list(owners) == [0, 1, 2, 2]
+
+    def test_owners_out_of_range(self, part):
+        with pytest.raises(PartitionError):
+            part.owners(np.array([0, 99]))
+
+    def test_indices_of_union(self, part):
+        assert list(part.indices_of([0, 2])) == [0, 1, 2, 7, 8, 9]
+
+    def test_indices_of_dedupes(self, part):
+        assert list(part.indices_of([1, 1])) == [3, 4, 5, 6]
+
+    def test_complement(self, part):
+        assert list(part.complement_indices([1])) == [0, 1, 2, 7, 8, 9]
+
+    def test_complement_empty_failure_set(self, part):
+        assert list(part.complement_indices([])) == list(range(10))
+
+    def test_to_local(self, part):
+        local = part.to_local(1, np.array([3, 6]))
+        assert list(local) == [0, 3]
+
+    def test_to_local_foreign_index_rejected(self, part):
+        with pytest.raises(PartitionError):
+            part.to_local(1, np.array([0]))
+
+    def test_bounds_bad_rank(self, part):
+        with pytest.raises(PartitionError):
+            part.bounds(3)
+
+
+class TestValidation:
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(PartitionError):
+            BlockRowPartition([1, 3, 5])
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(PartitionError):
+            BlockRowPartition([0, 5, 3])
+
+    def test_allow_empty_flag(self):
+        part = BlockRowPartition([0, 2, 2, 4], allow_empty=True)
+        assert part.size_of(1) == 0
+
+    def test_equality_and_hash(self):
+        a = BlockRowPartition.uniform(10, 2)
+        b = BlockRowPartition.uniform(10, 2)
+        c = BlockRowPartition.uniform(10, 5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c

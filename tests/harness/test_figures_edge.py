@@ -1,0 +1,61 @@
+"""Edge-case tests for the figure renderers."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.figures import OverheadSeries, ascii_log_plot, overhead_series
+
+
+class TestOverheadSeriesEdge:
+    def test_missing_cells_become_nan(self):
+        results = {"cells": {("esrp", 20, 1): {"failure_free": 0.1}}}
+        series = overhead_series(results, phis=(1, 3), with_failures=False)
+        assert math.isnan(series[0].values[1])
+
+    def test_missing_location_totals(self):
+        results = {"cells": {("esrp", 20, 1): {("start", "total"): None}}}
+        series = overhead_series(results, phis=(1,), with_failures=True)
+        assert math.isnan(series[0].values[0])
+
+    def test_requires_cells_key(self):
+        with pytest.raises(ConfigurationError):
+            overhead_series({}, phis=(1,), with_failures=False)
+
+    def test_single_location_median(self):
+        results = {"cells": {("imcr", 20, 1): {("start", "total"): 0.2}}}
+        series = overhead_series(
+            results, phis=(1,), with_failures=True, locations=("start",)
+        )
+        assert series[0].values == (0.2,)
+
+
+class TestAsciiPlotEdge:
+    def test_all_nan_series(self):
+        series = [OverheadSeries("esrp", 20, (1,), (math.nan,))]
+        text = ascii_log_plot(series, intervals=(20,), title="empty")
+        assert "no positive overhead values" in text
+
+    def test_non_positive_values_skipped(self):
+        series = [
+            OverheadSeries("esrp", 20, (1, 3), (-0.01, 0.05)),
+            OverheadSeries("imcr", 20, (1, 3), (0.0, 0.1)),
+        ]
+        text = ascii_log_plot(series, intervals=(20,), title="fig")
+        assert "E" in text and "I" in text
+
+    def test_flat_values_get_valid_axis(self):
+        series = [OverheadSeries("esrp", 20, (1,), (0.05,))]
+        text = ascii_log_plot(series, intervals=(20,), title="flat")
+        assert "%" in text
+
+    def test_esr_line_replicated_per_cluster(self):
+        series = [
+            OverheadSeries("esrp", 1, (1,), (0.02,)),
+            OverheadSeries("esrp", 20, (1,), (0.01,)),
+            OverheadSeries("esrp", 50, (1,), (0.005,)),
+        ]
+        text = ascii_log_plot(series, intervals=(20, 50), title="fig")
+        # the ESR marker appears in both interval clusters
+        assert text.count("R") >= 2

@@ -1,0 +1,96 @@
+"""End-to-end tests of the experiment runner on a tiny configuration."""
+
+import pytest
+
+from repro.harness import ExperimentConfig
+from repro.harness.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    config = ExperimentConfig(
+        problem="emilia_923_like",
+        scale="tiny",
+        n_nodes=4,
+        phis=(1, 2),
+        esrp_intervals=(1, 10),
+        imcr_intervals=(10,),
+        locations=("start", "center"),
+        repetitions=2,
+        noise=0.005,
+    )
+    return ExperimentRunner(config)
+
+
+class TestReference:
+    def test_reference_cached(self, runner):
+        t0_a, c_a = runner.run_reference()
+        records_before = len(runner.records)
+        t0_b, c_b = runner.run_reference()
+        assert (t0_a, c_a) == (t0_b, c_b)
+        assert len(runner.records) == records_before  # no re-run
+
+    def test_reference_iterations_positive(self, runner):
+        assert runner.reference_iterations > 20
+
+
+class TestCells:
+    def test_failure_free_cell(self, runner):
+        summary = runner.run_cell("esrp", 10, 1, location=None)
+        assert summary.failure_free_overhead is not None
+        assert summary.total_overhead is None
+        # resilience costs something (allow tiny negative under noise)
+        assert summary.failure_free_overhead > -0.05
+
+    def test_failure_cell(self, runner):
+        summary = runner.run_cell("esrp", 10, 2, location="start")
+        assert summary.total_overhead is not None
+        assert summary.reconstruction_overhead is not None
+        assert summary.total_overhead > 0
+        assert summary.reconstruction_overhead >= 0
+
+    def test_imcr_reconstruction_much_smaller_than_esrp(self, runner):
+        esrp = runner.run_cell("esrp", 10, 2, location="start")
+        imcr = runner.run_cell("imcr", 10, 2, location="start")
+        assert imcr.reconstruction_overhead < esrp.reconstruction_overhead
+
+    def test_records_accumulate(self, runner):
+        runner.run_cell("esr", 1, 1, location="center")
+        matching = [
+            r
+            for r in runner.records
+            if r.strategy == "esr" and r.location == "center"
+        ]
+        assert len(matching) == runner.config.repetitions
+        assert all(r.psi == 1 for r in matching)
+        assert all(r.converged for r in matching)
+
+
+class TestFullGrid:
+    def test_run_table_structure(self):
+        config = ExperimentConfig(
+            problem="emilia_923_like",
+            scale="tiny",
+            n_nodes=4,
+            phis=(1,),
+            esrp_intervals=(1, 10),
+            imcr_intervals=(10,),
+            locations=("start",),
+            repetitions=1,
+            noise=0.0,
+        )
+        runner = ExperimentRunner(config)
+        results = runner.run_table()
+        assert set(results["cells"]) == {
+            ("esrp", 1, 1),
+            ("esrp", 10, 1),
+            ("imcr", 10, 1),
+        }
+        for cell in results["cells"].values():
+            assert "failure_free" in cell
+            assert ("start", "total") in cell
+            assert ("start", "reconstruction") in cell
+
+        drift = runner.drift_summary()
+        assert "reference" in drift and "median" in drift and "minimum" in drift
+        assert drift["minimum"] <= drift["median"] + 1e-12

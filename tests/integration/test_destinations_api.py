@@ -1,0 +1,59 @@
+"""Integration tests of the switch-aware destination policy via the API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster.topology import FatTree
+
+
+@pytest.fixture(scope="module")
+def problem():
+    matrix, b, _ = repro.matrices.load("emilia_923_like", scale="tiny")
+    return matrix, b
+
+
+class TestDestinationsThroughSolve:
+    def test_switch_aware_produces_same_math(self, problem):
+        matrix, b = problem
+        eq1 = repro.solve(matrix, b, n_nodes=8, strategy="esr", phi=2)
+        aware = repro.solve(
+            matrix, b, n_nodes=8, strategy="esr", phi=2,
+            destinations="switch_aware",
+        )
+        # placement changes traffic, never the numerics
+        assert aware.iterations == eq1.iterations
+        np.testing.assert_array_equal(aware.x, eq1.x)
+
+    def test_switch_aware_survives_whole_switch_with_phi_1(self, problem):
+        matrix, b = problem
+        topology = FatTree(8, radix=2)
+        cluster = repro.VirtualCluster(8, topology=topology, seed=0)
+        ranks = topology.ranks_under_leaf(2)
+        result = repro.solve(
+            matrix, b, cluster=cluster, strategy="esrp", T=10, phi=1,
+            destinations="switch_aware",
+            failures=[repro.FailureEvent(25, ranks)],
+        )
+        reference = repro.solve(matrix, b, n_nodes=8, strategy="reference")
+        assert result.converged
+        np.testing.assert_allclose(result.x, reference.x, atol=1e-7)
+        # psi = 2 > phi = 1, yet no restart was needed
+        assert result.events.first(repro.EventKind.RESTART) is None
+
+    def test_esrp_with_switch_aware_failure_free_overhead(self, problem):
+        """Cross-leaf extras ship more bytes: overhead ordering holds."""
+        matrix, b = problem
+        from repro.harness.calibration import BENCH_COST_MODEL
+
+        reference = repro.solve(
+            matrix, b, n_nodes=8, strategy="reference", cost_model=BENCH_COST_MODEL
+        )
+        eq1 = repro.solve(
+            matrix, b, n_nodes=8, strategy="esr", phi=1, cost_model=BENCH_COST_MODEL
+        )
+        aware = repro.solve(
+            matrix, b, n_nodes=8, strategy="esr", phi=1,
+            destinations="switch_aware", cost_model=BENCH_COST_MODEL,
+        )
+        assert aware.modeled_time >= eq1.modeled_time > reference.modeled_time

@@ -1,0 +1,158 @@
+"""Unit tests for elasticity, random SPD, MatrixMarket I/O and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.matrices.analysis import (
+    condition_estimate,
+    extreme_eigenvalues,
+    is_spd,
+    is_symmetric,
+    sparsity_stats,
+)
+from repro.matrices.elasticity import coupling_block, elasticity_3d, n_unknowns
+from repro.matrices.io_mm import (
+    read_matrix_market,
+    read_vector,
+    write_matrix_market,
+    write_vector,
+)
+from repro.matrices.poisson import poisson_1d, poisson_2d
+from repro.matrices.random_spd import random_banded_spd, random_spd_dense_spectrum
+
+
+class TestElasticity:
+    def test_coupling_block_spd(self):
+        c = coupling_block(0.4)
+        assert np.allclose(c, c.T)
+        assert np.all(np.linalg.eigvalsh(c) > 0)
+
+    def test_coupling_bounds(self):
+        with pytest.raises(ConfigurationError):
+            coupling_block(1.0)
+        with pytest.raises(ConfigurationError):
+            coupling_block(-0.1)
+
+    def test_elasticity_size(self):
+        a = elasticity_3d(3, 3, 2)
+        assert a.shape == (n_unknowns(3, 3, 2),) * 2
+        assert n_unknowns(3, 3, 2) == 54
+
+    def test_elasticity_spd(self):
+        assert is_spd(elasticity_3d(3, coupling=0.3))
+
+    def test_interior_row_density_81(self):
+        a = elasticity_3d(5, coupling=0.3)
+        counts = np.diff(a.tocsr().indptr)
+        assert counts.max() == 81
+
+    def test_zero_coupling_decouples(self):
+        a = elasticity_3d(3, coupling=0.0).toarray()
+        # dof 0 of a point never couples to dof 1 of any point
+        assert np.allclose(a[0::3, 1::3], 0.0)
+
+
+class TestRandomSPD:
+    def test_spd(self):
+        a = random_banded_spd(30, bandwidth=4, density=0.8, seed=1)
+        assert is_spd(a)
+
+    def test_bandwidth_bound(self):
+        a = random_banded_spd(40, bandwidth=3, density=1.0, seed=2)
+        coo = a.tocoo()
+        assert np.abs(coo.row - coo.col).max() <= 3
+
+    def test_zero_bandwidth_is_diagonal(self):
+        a = random_banded_spd(10, bandwidth=0, seed=0)
+        assert a.nnz == 10
+
+    def test_density_increases_nnz(self):
+        sparse = random_banded_spd(60, bandwidth=6, density=0.2, seed=3)
+        dense = random_banded_spd(60, bandwidth=6, density=0.9, seed=3)
+        assert dense.nnz > sparse.nnz
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_banded_spd(10, bandwidth=10)
+        with pytest.raises(ConfigurationError):
+            random_banded_spd(10, bandwidth=2, density=0.0)
+        with pytest.raises(ConfigurationError):
+            random_banded_spd(0, bandwidth=0)
+
+    def test_dense_spectrum_condition(self):
+        a = random_spd_dense_spectrum(20, condition=100.0, seed=4)
+        lam_min, lam_max = extreme_eigenvalues(a)
+        assert lam_max / lam_min == pytest.approx(100.0, rel=1e-3)
+
+    def test_dense_spectrum_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_spd_dense_spectrum(10, condition=0.5)
+
+
+class TestMatrixMarketIO:
+    def test_matrix_roundtrip(self, tmp_path):
+        a = random_banded_spd(15, bandwidth=3, seed=5)
+        path = tmp_path / "test.mtx"
+        write_matrix_market(path, a, comment="roundtrip")
+        b = read_matrix_market(path)
+        assert (a != b).nnz == 0
+
+    def test_vector_roundtrip(self, tmp_path):
+        v = np.linspace(-1, 1, 17)
+        path = tmp_path / "vec.mtx"
+        write_vector(path, v)
+        assert np.allclose(read_vector(path), v)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_matrix_market(tmp_path / "nope.mtx")
+        with pytest.raises(ConfigurationError):
+            read_vector(tmp_path / "nope.mtx")
+
+    def test_non_square_rejected(self, tmp_path):
+        import scipy.io
+        import scipy.sparse as sp
+
+        path = tmp_path / "rect.mtx"
+        scipy.io.mmwrite(str(path), sp.random(3, 5, density=0.5))
+        with pytest.raises(ConfigurationError):
+            read_matrix_market(path)
+
+
+class TestAnalysis:
+    def test_sparsity_stats_poisson(self):
+        stats = sparsity_stats(poisson_1d(10))
+        assert stats.n == 10
+        assert stats.nnz == 28
+        assert stats.bandwidth == 1
+        assert stats.symmetric
+        assert stats.nnz_per_row_max == 3
+
+    def test_is_symmetric_detects_asymmetry(self):
+        import scipy.sparse as sp
+
+        a = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        assert not is_symmetric(a)
+
+    def test_extreme_eigenvalues_poisson(self):
+        lam_min, lam_max = extreme_eigenvalues(poisson_1d(20))
+        h = np.pi / 21
+        assert lam_min == pytest.approx(2 - 2 * np.cos(h), rel=1e-3)
+        assert lam_max == pytest.approx(2 - 2 * np.cos(20 * h), rel=1e-3)
+
+    def test_condition_estimate(self):
+        cond = condition_estimate(poisson_2d(5))
+        assert cond > 1.0
+
+    def test_is_spd_rejects_indefinite(self):
+        import scipy.sparse as sp
+
+        a = sp.csr_matrix(np.diag([1.0, -1.0, 2.0]))
+        assert not is_spd(a)
+
+    def test_non_square_stats_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ConfigurationError):
+            sparsity_stats(sp.random(3, 4, density=0.5))

@@ -1,0 +1,159 @@
+"""Unit tests for the Poisson-family generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.matrices.analysis import is_spd, is_symmetric
+from repro.matrices.poisson import (
+    apply_scaling,
+    layered_kappa_field,
+    layered_scaling,
+    poisson_1d,
+    poisson_2d,
+    poisson_3d,
+    poisson_3d_27pt,
+    variable_poisson_3d,
+)
+
+
+class TestConstantCoefficient:
+    def test_poisson_1d_structure(self):
+        a = poisson_1d(5).toarray()
+        assert np.allclose(np.diag(a), 2.0)
+        assert np.allclose(np.diag(a, 1), -1.0)
+
+    def test_poisson_2d_size_and_spd(self):
+        a = poisson_2d(4, 5)
+        assert a.shape == (20, 20)
+        assert is_spd(a)
+
+    def test_poisson_3d_size_and_spd(self):
+        a = poisson_3d(3, 4, 2)
+        assert a.shape == (24, 24)
+        assert is_spd(a)
+
+    def test_poisson_3d_7_point_rows(self):
+        a = poisson_3d(5)
+        counts = np.diff(a.indptr)
+        assert counts.max() == 7
+
+    def test_27pt_interior_row_density(self):
+        a = poisson_3d_27pt(5)
+        counts = np.diff(a.tocsr().indptr)
+        assert counts.max() == 27
+
+    def test_27pt_spd(self):
+        assert is_spd(poisson_3d_27pt(4))
+
+    def test_27pt_anisotropy_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_3d_27pt(4, anisotropy=(1.0, 0.0, 1.0))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_1d(0)
+
+
+class TestKappaField:
+    def test_shape_is_znyx(self):
+        field = layered_kappa_field((3, 4, 5), seed=0)
+        assert field.shape == (5, 4, 3)
+
+    def test_positive(self):
+        field = layered_kappa_field((4, 4, 8), contrast=100.0, seed=1)
+        assert np.all(field > 0)
+
+    def test_contrast_respected(self):
+        field = layered_kappa_field((2, 2, 12), contrast=1000.0, inclusion_sigma=0.0, seed=2)
+        layers = field[:, 0, 0]
+        assert layers.max() / layers.min() == pytest.approx(1000.0)
+
+    def test_seeded_reproducible(self):
+        a = layered_kappa_field((3, 3, 6), seed=7)
+        b = layered_kappa_field((3, 3, 6), seed=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            layered_kappa_field((2, 2, 4), n_layers=0)
+        with pytest.raises(ConfigurationError):
+            layered_kappa_field((2, 2, 4), contrast=0.5)
+        with pytest.raises(ConfigurationError):
+            layered_kappa_field((2, 2, 4), inclusion_sigma=-1.0)
+
+
+class TestVariablePoisson:
+    def test_symmetric_and_spd(self):
+        shape = (3, 3, 5)
+        kappa = layered_kappa_field(shape, contrast=10.0, seed=3)
+        a = variable_poisson_3d(shape, kappa)
+        assert is_symmetric(a)
+        assert is_spd(a)
+
+    def test_constant_kappa_matches_poisson_3d(self):
+        shape = (3, 4, 5)
+        kappa = np.ones((5, 4, 3))
+        a = variable_poisson_3d(shape, kappa)
+        b = poisson_3d(*shape)
+        assert np.allclose(a.toarray(), b.toarray())
+
+    def test_neumann_sides_spd_with_long_axis_dirichlet(self):
+        shape = (3, 3, 8)
+        kappa = np.ones((8, 3, 3))
+        a = variable_poisson_3d(shape, kappa, dirichlet_axes=(0,))
+        assert is_spd(a)
+
+    def test_pure_neumann_rejected(self):
+        shape = (2, 2, 2)
+        kappa = np.ones((2, 2, 2))
+        with pytest.raises(ConfigurationError):
+            variable_poisson_3d(shape, kappa, dirichlet_axes=())
+
+    def test_invalid_axis_rejected(self):
+        kappa = np.ones((2, 2, 2))
+        with pytest.raises(ConfigurationError):
+            variable_poisson_3d((2, 2, 2), kappa, dirichlet_axes=(3,))
+
+    def test_kappa_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            variable_poisson_3d((2, 3, 4), np.ones((2, 3, 4)))
+
+    def test_nonpositive_kappa_rejected(self):
+        kappa = np.ones((2, 2, 2))
+        kappa[0, 0, 0] = 0.0
+        with pytest.raises(ConfigurationError):
+            variable_poisson_3d((2, 2, 2), kappa)
+
+    def test_row_sums_zero_on_neumann_interior(self):
+        # With Dirichlet only on z, rows away from z-walls must sum to 0.
+        shape = (3, 3, 6)
+        kappa = layered_kappa_field(shape, contrast=5.0, seed=4)
+        a = variable_poisson_3d(shape, kappa, dirichlet_axes=(0,))
+        sums = np.asarray(a.sum(axis=1)).ravel()
+        interior = slice(9 * 2, 9 * 4)  # z in {2,3}: away from both walls
+        assert np.allclose(sums[interior], 0.0, atol=1e-12)
+
+
+class TestScaling:
+    def test_apply_scaling_symmetric(self):
+        a = poisson_2d(4)
+        d = np.linspace(1.0, 2.0, 16)
+        scaled = apply_scaling(a, d)
+        assert is_symmetric(scaled)
+        assert np.allclose(scaled.toarray(), np.diag(d) @ a.toarray() @ np.diag(d))
+
+    def test_apply_scaling_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            apply_scaling(poisson_2d(4), np.ones(5))
+
+    def test_layered_scaling_shape(self):
+        d = layered_scaling((3, 4, 5), n_layers=2, contrast=4.0, seed=0)
+        assert d.shape == (60,)
+        assert np.all(d > 0)
+
+    def test_layered_scaling_dofs(self):
+        d = layered_scaling((2, 2, 2), dofs_per_point=3, seed=0)
+        assert d.shape == (24,)
+        # consecutive dof triples share the same scaling
+        assert np.allclose(d[0::3], d[1::3])

@@ -1,0 +1,93 @@
+"""Unit tests for the named test-problem registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.matrices import suite
+from repro.matrices.analysis import is_spd
+
+
+class TestLoad:
+    def test_available_problems(self):
+        assert set(suite.available_problems()) == {"emilia_923_like", "audikw_1_like"}
+
+    def test_available_scales(self):
+        assert set(suite.available_scales()) == {"tiny", "small", "bench", "large"}
+
+    @pytest.mark.parametrize("name", ["emilia_923_like", "audikw_1_like"])
+    def test_tiny_problems_are_spd(self, name):
+        matrix, b, meta = suite.load(name, scale="tiny")
+        assert is_spd(matrix)
+        assert b.shape == (matrix.shape[0],)
+
+    def test_meta_fields(self):
+        matrix, b, meta = suite.load("emilia_923_like", scale="tiny")
+        assert meta.name == "emilia_923_like"
+        assert meta.scale == "tiny"
+        assert meta.n == matrix.shape[0]
+        assert meta.nnz == matrix.nnz
+        assert meta.source == "synthetic-stand-in"
+        assert meta.paper["paper_matrix"] == "Emilia_923"
+        assert meta.paper["paper_iterations"] == 10_279
+
+    def test_b_is_consistent_with_exact_solution(self):
+        matrix, b, _ = suite.load("emilia_923_like", scale="tiny", seed=5)
+        # b was built as A @ x_exact; solving must reproduce some x with
+        # residual ~ machine precision at the linear-algebra level.
+        x = np.linalg.solve(matrix.toarray(), b)
+        assert np.linalg.norm(b - matrix @ x) / np.linalg.norm(b) < 1e-10
+
+    def test_seeded_determinism(self):
+        a1, b1, _ = suite.load("audikw_1_like", scale="tiny", seed=3)
+        a2, b2, _ = suite.load("audikw_1_like", scale="tiny", seed=3)
+        assert np.array_equal(b1, b2)
+        assert (a1 != a2).nnz == 0
+
+    def test_different_seed_changes_matrix(self):
+        a1, _, _ = suite.load("emilia_923_like", scale="tiny", seed=1)
+        a2, _, _ = suite.load("emilia_923_like", scale="tiny", seed=2)
+        assert (a1 != a2).nnz > 0
+
+    def test_audikw_has_denser_rows(self):
+        _, _, meta_e = suite.load("emilia_923_like", scale="tiny")
+        _, _, meta_a = suite.load("audikw_1_like", scale="tiny")
+        assert meta_a.nnz_per_row > 2 * meta_e.nnz_per_row
+
+    def test_audikw_dofs(self):
+        _, _, meta = suite.load("audikw_1_like", scale="tiny")
+        assert meta.dofs_per_point == 3
+        assert meta.n % 3 == 0
+
+    def test_unknown_problem(self):
+        with pytest.raises(ConfigurationError):
+            suite.load("bcsstk18")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            suite.load("emilia_923_like", scale="huge")
+
+    def test_scales_are_ordered_by_size(self):
+        sizes = []
+        for scale in ("tiny", "small", "bench"):
+            _, _, meta = suite.load("emilia_923_like", scale=scale)
+            sizes.append(meta.n)
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_real_matrix_dir_miss_is_ignored(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_MATRIX_DIR", str(tmp_path))
+        matrix, _, meta = suite.load("emilia_923_like", scale="tiny")
+        assert meta.source == "synthetic-stand-in"
+
+    def test_real_matrix_dir_hit_is_used(self, monkeypatch, tmp_path):
+        from repro.matrices.io_mm import write_matrix_market
+        from repro.matrices.random_spd import random_banded_spd
+
+        real = random_banded_spd(12, bandwidth=2, seed=0)
+        write_matrix_market(tmp_path / "Emilia_923.mtx", real)
+        monkeypatch.setenv("REPRO_MATRIX_DIR", str(tmp_path))
+        matrix, b, meta = suite.load("emilia_923_like")
+        assert meta.source == "suitesparse"
+        assert meta.scale == "native"
+        assert matrix.shape == (12, 12)

@@ -1,0 +1,105 @@
+"""Hypothesis property tests for the ASpMV redundancy invariant.
+
+The paper's claim (§2.2.1): after the augmented product, every entry of
+the input vector is held by at least ϕ nodes other than its owner, so
+any simultaneous failure of up to ϕ nodes leaves at least one copy.
+We check it over random matrices, partitions and ϕ, for both selection
+rules.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import VirtualCluster, zero_cost_model
+from repro.core.redundancy import RedundancyQueue
+from repro.distribution import (
+    ASpMVExecutor,
+    BlockRowPartition,
+    DistributedMatrix,
+    DistributedVector,
+    RedundancyPlan,
+    gather_redundant_copy,
+)
+from repro.matrices import random_banded_spd
+
+
+matrix_params = st.tuples(
+    st.integers(min_value=12, max_value=40),  # n
+    st.integers(min_value=0, max_value=8),  # bandwidth
+    st.floats(min_value=0.1, max_value=1.0),  # density
+    st.integers(min_value=0, max_value=1000),  # seed
+)
+
+
+@given(
+    params=matrix_params,
+    n_nodes=st.integers(min_value=2, max_value=6),
+    phi=st.integers(min_value=1, max_value=5),
+    rule=st.sampled_from(["paper", "greedy"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_entry_has_phi_nonowner_copies(params, n_nodes, phi, rule):
+    n, bandwidth, density, seed = params
+    bandwidth = min(bandwidth, n - 1)
+    matrix = random_banded_spd(n, bandwidth=bandwidth, density=density, seed=seed)
+    partition = BlockRowPartition.uniform(n, n_nodes)
+    cluster = VirtualCluster(n_nodes, cost_model=zero_cost_model(), seed=0)
+    dmatrix = DistributedMatrix(cluster, partition, matrix)
+    plan = RedundancyPlan(dmatrix.plan, phi, rule=rule)
+    effective_phi = min(phi, n_nodes - 1)
+    assert plan.min_copies() >= effective_phi
+
+
+@given(
+    params=matrix_params,
+    n_nodes=st.integers(min_value=3, max_value=6),
+    phi=st.integers(min_value=1, max_value=3),
+    start=st.integers(min_value=0, max_value=5),
+    rule=st.sampled_from(["paper", "greedy"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_contiguous_failures_always_recoverable(params, n_nodes, phi, start, rule):
+    """Any contiguous block of ψ ≤ ϕ failures leaves a recoverable copy."""
+    n, bandwidth, density, seed = params
+    bandwidth = min(bandwidth, n - 1)
+    phi = min(phi, n_nodes - 1)
+    matrix = random_banded_spd(n, bandwidth=bandwidth, density=density, seed=seed)
+    partition = BlockRowPartition.uniform(n, n_nodes)
+    cluster = VirtualCluster(n_nodes, cost_model=zero_cost_model(), seed=0)
+    dmatrix = DistributedMatrix(cluster, partition, matrix)
+    executor = ASpMVExecutor(dmatrix, phi=phi, rule=rule)
+    queue = RedundancyQueue(2)
+
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    dx = DistributedVector.from_global(cluster, partition, x)
+    executor.multiply_augmented(dx, 0, queue)
+
+    failed = tuple(sorted(((start + i) % n_nodes) for i in range(phi)))
+    cluster.fail(failed)
+    cluster.replace(failed)
+    gathered = gather_redundant_copy(cluster, partition, 0, failed)
+    for rank in failed:
+        lo, hi = partition.bounds(rank)
+        np.testing.assert_allclose(gathered[rank], x[lo:hi])
+
+
+@given(
+    params=matrix_params,
+    n_nodes=st.integers(min_value=2, max_value=6),
+    phi=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_augmented_product_equals_plain_product(params, n_nodes, phi):
+    n, bandwidth, density, seed = params
+    bandwidth = min(bandwidth, n - 1)
+    matrix = random_banded_spd(n, bandwidth=bandwidth, density=density, seed=seed)
+    partition = BlockRowPartition.uniform(n, n_nodes)
+    cluster = VirtualCluster(n_nodes, cost_model=zero_cost_model(), seed=0)
+    dmatrix = DistributedMatrix(cluster, partition, matrix)
+    executor = ASpMVExecutor(dmatrix, phi=min(phi, n_nodes - 1))
+    queue = RedundancyQueue(2)
+    x = np.random.default_rng(seed).standard_normal(n)
+    dx = DistributedVector.from_global(cluster, partition, x)
+    result = executor.multiply_augmented(dx, 0, queue)
+    np.testing.assert_allclose(result.to_global(), matrix @ x, atol=1e-10)

@@ -1,0 +1,62 @@
+"""Hypothesis property tests on the resilient solver itself.
+
+Invariants:
+* PCG on random SPD systems converges to the true solution;
+* a failure at a random admissible iteration, recovered by any of the
+  exact strategies, still converges to the true solution with the same
+  iteration count as the undisturbed run (trajectory preservation).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.matrices import random_banded_spd
+
+
+@given(
+    n=st.integers(min_value=16, max_value=64),
+    bandwidth=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_reference_pcg_solves_random_spd(n, bandwidth, seed):
+    bandwidth = min(bandwidth, n - 1)
+    matrix = random_banded_spd(n, bandwidth=bandwidth, density=0.8, seed=seed)
+    x_true = np.random.default_rng(seed).standard_normal(n)
+    b = matrix @ x_true
+    result = repro.solve(matrix, b, n_nodes=4, strategy="reference", rtol=1e-10)
+    assert result.converged
+    np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    strategy=st.sampled_from(["esr", "esrp", "imcr"]),
+    phi=st.integers(min_value=1, max_value=2),
+    fraction=st.floats(min_value=0.2, max_value=0.9),
+)
+@settings(max_examples=15, deadline=None)
+def test_recovery_preserves_solution_and_trajectory(seed, strategy, phi, fraction):
+    matrix, b, _ = repro.matrices.load("emilia_923_like", scale="tiny", seed=seed % 7)
+    reference = repro.solve(matrix, b, n_nodes=4, strategy="reference")
+    T = 10
+    j_fail = max(1, int(reference.iterations * fraction))
+    ranks = tuple(range(1, 1 + phi))
+    result = repro.solve(
+        matrix,
+        b,
+        n_nodes=4,
+        strategy=strategy,
+        T=T,
+        phi=phi,
+        failures=[repro.FailureEvent(j_fail, ranks)],
+    )
+    assert result.converged
+    np.testing.assert_allclose(result.x, reference.x, atol=1e-6)
+    # Exact strategies preserve the trajectory (unless an early failure
+    # forced a fallback restart, which shows as a RESTART event).
+    from repro.events import EventKind
+
+    if result.events.first(EventKind.RESTART) is None:
+        assert result.iterations == reference.iterations

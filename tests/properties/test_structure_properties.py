@@ -1,0 +1,107 @@
+"""Hypothesis property tests: partition laws, queue laws, Eq. (1)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.redundancy import RedundancyQueue
+from repro.distribution import BlockRowPartition, eq1_destinations
+
+
+class TestPartitionLaws:
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        n_nodes=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_partition_is_disjoint_cover(self, n, n_nodes):
+        if n < n_nodes:
+            return
+        part = BlockRowPartition.uniform(n, n_nodes)
+        union = np.concatenate([part.indices(r) for r in range(n_nodes)])
+        assert union.size == n
+        assert np.array_equal(np.sort(union), np.arange(n))
+        sizes = [part.size_of(r) for r in range(n_nodes)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        n=st.integers(min_value=4, max_value=300),
+        n_nodes=st.integers(min_value=1, max_value=16),
+        index=st.integers(min_value=0, max_value=299),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_owner_is_consistent_with_indices(self, n, n_nodes, index):
+        if n < n_nodes or index >= n:
+            return
+        part = BlockRowPartition.uniform(n, n_nodes)
+        owner = part.owner(index)
+        assert index in part.indices(owner)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=8)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_to_local_roundtrip(self, sizes):
+        part = BlockRowPartition.from_sizes(sizes)
+        for rank in range(part.n_nodes):
+            global_idx = part.indices(rank)
+            local = part.to_local(rank, global_idx)
+            assert np.array_equal(local, np.arange(part.size_of(rank)))
+
+
+class TestQueueLaws:
+    @given(
+        capacity=st.integers(min_value=1, max_value=5),
+        pushes=st.lists(st.integers(min_value=0, max_value=50), max_size=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_never_exceeded(self, capacity, pushes):
+        queue = RedundancyQueue(capacity)
+        for j in pushes:
+            queue.push(j)
+            assert len(queue) <= capacity
+
+    @given(pushes=st.lists(st.integers(min_value=0, max_value=30), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_eviction_order(self, pushes):
+        queue = RedundancyQueue(2)
+        evicted: list[int] = []
+        inserted: list[int] = []
+        for j in pushes:
+            if j in queue:
+                continue
+            inserted.append(j)
+            out = queue.push(j)
+            if out is not None:
+                evicted.append(out)
+        # evictions happen in insertion order
+        assert evicted == inserted[: len(evicted)]
+
+
+class TestEq1Laws:
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=64),
+        src=st.integers(min_value=0, max_value=63),
+        phi=st.integers(min_value=1, max_value=63),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_destinations_distinct_and_not_self(self, n_nodes, src, phi):
+        if src >= n_nodes:
+            return
+        dests = eq1_destinations(src, phi, n_nodes)
+        assert len(dests) == min(phi, n_nodes - 1)
+        assert src not in dests
+        assert len(set(dests)) == len(dests)
+
+    @given(
+        n_nodes=st.integers(min_value=8, max_value=64),
+        src=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nearest_neighbours_first(self, n_nodes, src):
+        if src >= n_nodes:
+            return
+        dests = eq1_destinations(src, 4, n_nodes)
+        ring = lambda a, b: min((a - b) % n_nodes, (b - a) % n_nodes)
+        distances = [ring(src, d) for d in dests]
+        # paper's Eq. (1): the phi nearest neighbours, alternating sides
+        assert distances == [1, 1, 2, 2]
