@@ -1,18 +1,21 @@
 """Ablation A2 — checkpoint-interval sweep vs. Young/Daly optimum.
 
 The paper frames ESRP as checkpoint-restart with a tunable interval T
-and cites Young [28] / Daly [8] for choosing it.  This bench sweeps T
-under an MTBF-driven Poisson failure schedule, measures the median
-total overhead per T, and compares the empirical sweet spot with the
-analytic optimum computed from the measured per-stage storage cost.
+and cites Young [28] / Daly [8] for choosing it.  This bench is a thin
+wrapper over the scenario-campaign engine (:mod:`repro.campaign`): one
+declarative spec sweeps T under an MTBF-driven Poisson failure
+schedule, the engine runs the seeded repetitions and aggregates the
+median total overhead per T, and the table compares the empirical
+sweet spot with the analytic optimum computed from the measured
+per-stage storage cost.
 """
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import is_quick, write_artifact
 
 import repro
+from repro.campaign import CampaignSpec, ScenarioSpec, StrategySpec, execute_campaign
 from repro.core.interval import expected_waste_fraction, optimal_interval_iterations
 from repro.events import EventKind
 from repro.harness.calibration import BENCH_COST_MODEL
@@ -21,43 +24,43 @@ N_NODES = 8
 PHI = 2
 INTERVALS = (3, 5, 10, 20, 40, 80, 160)
 REPS = 3
+MTBF_FRACTION = 1 / 3
 
 
 def run_sweep():
     scale = "tiny" if is_quick() else "small"
-    matrix, b, _ = repro.matrices.load("emilia_923_like", scale=scale)
-    reference = repro.solve(
-        matrix, b, n_nodes=N_NODES, strategy="reference", cost_model=BENCH_COST_MODEL
+    spec = CampaignSpec(
+        name="ablation-a2-interval",
+        problems=(("emilia_923_like", scale),),
+        n_nodes=N_NODES,
+        strategies=(StrategySpec("esrp", INTERVALS),),
+        phis=(PHI,),
+        # the original A2 regime: MTBF = max(C // 3, 30), min_gap = max(T, 8)
+        scenarios=(
+            ScenarioSpec.make(
+                "mtbf", mtbf_fraction=MTBF_FRACTION, mtbf_floor=30, min_gap_floor=8
+            ),
+        ),
+        repetitions=REPS,
+        seed=101,
     )
-    C, t0 = reference.iterations, reference.modeled_time
-    mtbf_iterations = max(C // 3, 30)
+    result = execute_campaign(spec, workers=0)
+    assert all(record.converged for record in result)
+    rows = [(row["T"], row["total_overhead"]) for row in result.overhead_rows()]
 
-    rows = []
-    for T in INTERVALS:
-        totals = []
-        for rep in range(REPS):
-            schedule = repro.poisson_schedule(
-                mtbf_iterations=mtbf_iterations,
-                horizon=C,
-                width=PHI,
-                n_nodes=N_NODES,
-                seed=101 + rep,
-                min_gap=max(T, 8),
-            )
-            result = repro.solve(
-                matrix, b, n_nodes=N_NODES, strategy="esrp", T=T, phi=PHI,
-                failures=schedule, cost_model=BENCH_COST_MODEL,
-            )
-            assert result.converged
-            totals.append((result.modeled_time - t0) / t0)
-        rows.append((T, float(np.median(totals))))
+    sample = result.records[0]
+    t0, C = sample.reference_time, sample.reference_iterations
+    mtbf_iterations = max(30, round(MTBF_FRACTION * C))
 
     # measured per-stage storage cost for the analytic optimum
+    matrix, b, _ = repro.matrices.load("emilia_923_like", scale=scale, seed=spec.seed)
     esrp_ff = repro.solve(
         matrix, b, n_nodes=N_NODES, strategy="esrp", T=20, phi=PHI,
-        cost_model=BENCH_COST_MODEL,
+        cost_model=BENCH_COST_MODEL, seed=spec.seed,
     )
     stages = len(esrp_ff.events.of_kind(EventKind.STORAGE_STAGE)) / 2
+    # t0 from the campaign's cached reference run is bit-identical to a
+    # fresh reference solve with the same seed/cost model.
     delta = (esrp_ff.modeled_time - t0) / max(stages, 1)
     seconds_per_iteration = t0 / C
     t_opt = optimal_interval_iterations(
@@ -72,7 +75,8 @@ def test_ablation_checkpoint_interval(benchmark):
     )
     lines = [
         "Ablation A2: ESRP total overhead vs storage interval T "
-        f"(Poisson failures, MTBF = {mtbf_iters} iterations, phi = {PHI})",
+        f"(campaign sweep, Poisson failures, MTBF = {mtbf_iters} iterations, "
+        f"phi = {PHI})",
         "",
         f"{'T':>5s} {'median overhead':>16s} {'analytic waste d/T + T/2M':>26s}",
         "-" * 52,

@@ -2,54 +2,61 @@
 
 Compares ESR's exact state reconstruction against the related-work
 baselines the paper discusses (§1.3): Langou-style linear interpolation
-[15], Agullo-style least squares [1], and a full restart.  Metrics:
-total iterations to convergence after an identical mid-solve failure,
-extra iterations vs. the undisturbed run, and the residual jump right
-after recovery.
+[15], Agullo-style least squares [1], and a full restart.  The sweep is
+a thin wrapper over the scenario-campaign engine: one spec runs all
+four strategies against the identical mid-solve 2-node failure, and the
+metrics (iterations to convergence, extra iterations vs. the
+undisturbed run, total overhead) come straight out of the campaign
+records.
 """
 
 from __future__ import annotations
 
 from conftest import is_quick, write_artifact
 
-import repro
-from repro.harness.calibration import BENCH_COST_MODEL
+from repro.campaign import CampaignSpec, ScenarioSpec, StrategySpec, execute_campaign
 
 N_NODES = 8
-METHODS = (
-    ("ESR (exact)", "esr"),
-    ("linear interpolation", "linear_interpolation"),
-    ("least squares", "least_squares"),
-    ("full restart", "full_restart"),
-)
+PHI = 2
+LABELS = {
+    "esr": "ESR (exact)",
+    "linear_interpolation": "linear interpolation",
+    "least_squares": "least squares",
+    "full_restart": "full restart",
+}
 
 
 def run_comparison():
     scale = "tiny" if is_quick() else "small"
-    matrix, b, _ = repro.matrices.load("emilia_923_like", scale=scale)
-    reference = repro.solve(
-        matrix, b, n_nodes=N_NODES, strategy="reference", cost_model=BENCH_COST_MODEL
+    spec = CampaignSpec(
+        name="ablation-a3-recovery-baselines",
+        problems=(("emilia_923_like", scale),),
+        n_nodes=N_NODES,
+        strategies=tuple(StrategySpec(name) for name in LABELS),
+        phis=(PHI,),
+        # the original protocol: ranks (2, 3) fail at iteration C/2
+        scenarios=(
+            ScenarioSpec.make("multi_node", fraction=0.5, start=2, width=PHI),
+        ),
+        repetitions=1,
+        seed=2020,
     )
-    j_fail = reference.iterations // 2
-    failure = repro.FailureEvent(j_fail, (2, 3))
+    result = execute_campaign(spec, workers=0)
+    assert all(record.converged for record in result)
+
+    sample = result.records[0]
     rows = []
-    for label, strategy in METHODS:
-        result = repro.solve(
-            matrix, b, n_nodes=N_NODES, strategy=strategy, phi=2,
-            failures=[failure], cost_model=BENCH_COST_MODEL,
-        )
-        assert result.converged, label
-        history = result.residual_history
-        jump = history[j_fail] / history[j_fail - 1] if j_fail < len(history) else 1.0
+    for name, label in LABELS.items():
+        record = next(r for r in result if r.strategy == name)
         rows.append(
             (
                 label,
-                result.iterations,
-                result.iterations - reference.iterations,
-                jump,
+                record.iterations,
+                record.iterations - record.reference_iterations,
+                record.total_overhead,
             )
         )
-    return reference.iterations, j_fail, rows
+    return sample.reference_iterations, sample.failure_iterations[0], rows
 
 
 def test_ablation_recovery_baselines(benchmark):
@@ -58,16 +65,18 @@ def test_ablation_recovery_baselines(benchmark):
         f"Ablation A3: recovery quality after a 2-node failure at iteration {j_fail} "
         f"(undisturbed C = {C})",
         "",
-        f"{'method':22s} {'iterations':>10s} {'extra':>7s} {'residual jump':>14s}",
-        "-" * 60,
+        f"{'method':22s} {'iterations':>10s} {'extra':>7s} {'overhead':>10s}",
+        "-" * 56,
     ]
-    for label, iters, extra, jump in rows:
-        lines.append(f"{label:22s} {iters:>10d} {extra:>+7d} {jump:>13.2f}x")
+    for label, iters, extra, overhead in rows:
+        lines.append(
+            f"{label:22s} {iters:>10d} {extra:>+7d} {100 * overhead:>9.2f}%"
+        )
     table = "\n".join(lines)
     print("\n" + table)
     write_artifact("ablation_a3_recovery_baselines.txt", table)
 
-    by_label = {label: extra for label, _i, extra, _j in rows}
+    by_label = {label: extra for label, _i, extra, _o in rows}
     assert by_label["ESR (exact)"] == 0, "exact reconstruction must waste nothing"
     assert by_label["full restart"] >= by_label["linear interpolation"]
     assert by_label["linear interpolation"] > 0

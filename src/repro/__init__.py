@@ -76,6 +76,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ASpMVExecutor",
     "BlockRowPartition",
+    "campaign",
     "ClusterError",
     "ConfigurationError",
     "ConvergenceError",
@@ -190,3 +191,7 @@ def solve(
         failures=schedule,
     )
     return engine.solve()
+
+
+# Imported last: the campaign workers call back into :func:`solve`.
+from . import campaign  # noqa: E402

@@ -1,0 +1,194 @@
+"""Campaign execution: per-run worker plus serial/process-pool drivers.
+
+Design notes
+------------
+* :func:`run_one` is a **module-level** function taking one picklable
+  :class:`RunSpec`, so it crosses ``ProcessPoolExecutor`` boundaries
+  under both fork and spawn start methods.
+* Matrix generation and the reference solve are memoised **per worker
+  process** (``functools.lru_cache``): a campaign re-uses one matrix
+  and one reference trajectory per problem configuration instead of
+  recomputing them for all of its runs.
+* All randomness is derived from seeds carried by the ``RunSpec``
+  (cluster noise and stochastic scenarios from ``run.seed``, matrix
+  generation from ``run.problem_seed``), so pool execution is
+  result-for-result identical to serial execution regardless of
+  worker count or scheduling order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import functools
+import os
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..cluster.failures import FailureSchedule
+from ..exceptions import ConfigurationError
+from .results import CampaignResult, CampaignRunRecord
+from .scenarios import ScenarioContext, generate_schedule
+from .spec import CampaignSpec, RunSpec, expand_spec
+
+#: Callback signature: (finished_count, total, record).
+ProgressFn = Callable[[int, int, CampaignRunRecord], None]
+
+
+@functools.lru_cache(maxsize=8)
+def _load_problem(problem: str, scale: str, seed: int):
+    from ..matrices import suite
+
+    return suite.load(problem, scale=scale, seed=seed)
+
+
+@functools.lru_cache(maxsize=32)
+def _reference(
+    problem: str,
+    scale: str,
+    n_nodes: int,
+    preconditioner: str,
+    rtol: float,
+    problem_seed: int,
+):
+    """(t0, C, x_ref) of the non-resilient reference solver."""
+    import repro
+    from ..harness.calibration import BENCH_COST_MODEL
+
+    matrix, b, _meta = _load_problem(problem, scale, problem_seed)
+    result = repro.solve(
+        matrix,
+        b,
+        n_nodes=n_nodes,
+        strategy="reference",
+        preconditioner=preconditioner,
+        rtol=rtol,
+        cost_model=BENCH_COST_MODEL,
+        seed=problem_seed,
+    )
+    return result.modeled_time, result.iterations, result.x
+
+
+def run_one(run: RunSpec) -> CampaignRunRecord:
+    """Execute one fully-resolved run and flatten it into a record."""
+    import repro
+    from ..harness.calibration import BENCH_COST_MODEL
+
+    matrix, b, _meta = _load_problem(run.problem, run.scale, run.problem_seed)
+    t0, C, x_ref = _reference(
+        run.problem, run.scale, run.n_nodes, run.preconditioner,
+        run.rtol, run.problem_seed,
+    )
+
+    if run.strategy == "reference":
+        schedule = FailureSchedule()
+    else:
+        ctx = ScenarioContext(
+            n_nodes=run.n_nodes,
+            phi=run.phi,
+            strategy=run.strategy,
+            T=run.T,
+            reference_iterations=C,
+            seed=run.seed,
+        )
+        schedule = generate_schedule(run.scenario, ctx)
+    failure_iterations = tuple(event.iteration for event in schedule)
+
+    result = repro.solve(
+        matrix,
+        b,
+        n_nodes=run.n_nodes,
+        strategy=run.strategy,
+        T=run.T,
+        phi=run.phi,
+        preconditioner=run.preconditioner,
+        rtol=run.rtol,
+        failures=schedule,
+        cost_model=BENCH_COST_MODEL,
+        seed=run.seed,
+    )
+
+    ref_norm = float(np.linalg.norm(x_ref))
+    solution_error = (
+        float(np.linalg.norm(result.x - x_ref)) / ref_norm if ref_norm else 0.0
+    )
+    return CampaignRunRecord(
+        run_id=run.run_id,
+        problem=run.problem,
+        scale=run.scale,
+        n_nodes=run.n_nodes,
+        preconditioner=run.preconditioner,
+        strategy=run.strategy,
+        T=run.T,
+        phi=run.phi,
+        scenario_kind=run.scenario.kind,
+        scenario_params=dict(run.scenario.params),
+        repetition=run.repetition,
+        seed=run.seed,
+        converged=result.converged,
+        iterations=result.iterations,
+        executed_iterations=result.executed_iterations,
+        relative_residual=result.relative_residual,
+        modeled_time=result.modeled_time,
+        recovery_time=result.recovery_time,
+        wall_time=result.wall_time,
+        reference_time=t0,
+        reference_iterations=C,
+        total_overhead=(result.modeled_time - t0) / t0,
+        recovery_overhead=result.recovery_time / t0,
+        n_failures=len(schedule),
+        failure_iterations=failure_iterations,
+        solution_error=solution_error,
+    )
+
+
+def default_workers(n_runs: int) -> int:
+    """Pool size heuristic: one worker per run, capped by the host."""
+    return max(1, min(n_runs, os.cpu_count() or 1, 8))
+
+
+def execute_runs(
+    runs: Sequence[RunSpec],
+    workers: int = 0,
+    progress: ProgressFn | None = None,
+) -> list[CampaignRunRecord]:
+    """Execute runs; ``workers <= 1`` is serial, otherwise a process pool.
+
+    The returned list is always in the order of ``runs``, independent
+    of pool scheduling.
+    """
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    records: list[CampaignRunRecord] = []
+    if workers <= 1:
+        for index, run in enumerate(runs):
+            record = run_one(run)
+            records.append(record)
+            if progress is not None:
+                progress(index + 1, len(runs), record)
+        return records
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        for index, record in enumerate(pool.map(run_one, runs, chunksize=1)):
+            records.append(record)
+            if progress is not None:
+                progress(index + 1, len(runs), record)
+    return records
+
+
+def execute_campaign(
+    spec: CampaignSpec,
+    workers: int | None = None,
+    progress: ProgressFn | None = None,
+) -> CampaignResult:
+    """Expand a campaign spec and execute every run.
+
+    ``workers=None`` picks :func:`default_workers`; pass ``0``/``1``
+    to force serial execution (e.g. inside tests comparing the two).
+    """
+    runs = expand_spec(spec)
+    if not runs:
+        raise ConfigurationError(f"campaign {spec.name!r} expands to zero runs")
+    if workers is None:
+        workers = default_workers(len(runs))
+    records = execute_runs(runs, workers=workers, progress=progress)
+    return CampaignResult(spec=spec.to_dict(), records=records)

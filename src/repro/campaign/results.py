@@ -1,0 +1,282 @@
+"""Typed campaign result store: records, persistence, aggregation.
+
+A :class:`CampaignRunRecord` is the flat, JSON/CSV-friendly outcome of
+one :class:`~repro.campaign.spec.RunSpec`; a :class:`CampaignResult`
+bundles the spec with all records and knows how to
+
+* round-trip itself through JSON (lossless) and CSV (records only),
+* aggregate medians per (strategy, T, ϕ, scenario) cell,
+* render a Table-2-shaped run-time-overhead comparison.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import pathlib
+from typing import Any, Iterable, Mapping
+
+from ..exceptions import ConfigurationError
+from ..harness.metrics import median
+from .scenarios import ScenarioSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignRunRecord:
+    """Outcome of one campaign run (all fields JSON/CSV representable)."""
+
+    run_id: str
+    problem: str
+    scale: str
+    n_nodes: int
+    preconditioner: str
+    strategy: str
+    T: int
+    phi: int
+    scenario_kind: str
+    scenario_params: dict[str, Any]
+    repetition: int
+    seed: int
+    converged: bool
+    iterations: int
+    executed_iterations: int
+    relative_residual: float
+    modeled_time: float
+    recovery_time: float
+    wall_time: float
+    reference_time: float
+    reference_iterations: int
+    total_overhead: float
+    recovery_overhead: float
+    n_failures: int
+    failure_iterations: tuple[int, ...]
+    solution_error: float
+
+    @property
+    def wasted_iterations(self) -> int:
+        return self.executed_iterations - self.iterations
+
+    @property
+    def scenario_label(self) -> str:
+        """Same formatter as :attr:`ScenarioSpec.label` (labels must not drift
+        between stored run_ids and freshly aggregated report rows)."""
+        return ScenarioSpec.make(self.scenario_kind, **self.scenario_params).label
+
+    def to_dict(self) -> dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["failure_iterations"] = list(self.failure_iterations)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignRunRecord":
+        payload = dict(data)
+        payload["scenario_params"] = dict(payload.get("scenario_params") or {})
+        payload["failure_iterations"] = tuple(
+            int(i) for i in payload.get("failure_iterations") or ()
+        )
+        return cls(**payload)
+
+
+#: CSV value converters per column (CSV stringifies everything).
+_CSV_CONVERTERS: dict[str, Any] = {
+    "n_nodes": int,
+    "T": int,
+    "phi": int,
+    "repetition": int,
+    "seed": int,
+    "iterations": int,
+    "executed_iterations": int,
+    "reference_iterations": int,
+    "n_failures": int,
+    "relative_residual": float,
+    "modeled_time": float,
+    "recovery_time": float,
+    "wall_time": float,
+    "reference_time": float,
+    "total_overhead": float,
+    "recovery_overhead": float,
+    "solution_error": float,
+    "converged": lambda raw: raw in ("True", "true", "1"),
+    "scenario_params": json.loads,
+    "failure_iterations": lambda raw: tuple(int(i) for i in raw.split(";") if i),
+}
+
+
+class CampaignResult:
+    """All records of one campaign plus the spec that produced them."""
+
+    def __init__(self, spec: Mapping[str, Any], records: Iterable[CampaignRunRecord]):
+        self.spec = dict(spec)
+        self.records = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def name(self) -> str:
+        return str(self.spec.get("name", "campaign"))
+
+    # ----------------------------------------------------------- persistence
+
+    def to_json(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        payload = {
+            "spec": self.spec,
+            "records": [record.to_dict() for record in self.records],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, path) -> "CampaignResult":
+        try:
+            payload = json.loads(pathlib.Path(path).read_text())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read campaign results {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path} is not valid campaign JSON: {exc}") from exc
+        return cls(
+            spec=payload.get("spec", {}),
+            records=[CampaignRunRecord.from_dict(r) for r in payload.get("records", [])],
+        )
+
+    def to_csv(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        fields = [f.name for f in dataclasses.fields(CampaignRunRecord)]
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            for record in self.records:
+                row = record.to_dict()
+                row["scenario_params"] = json.dumps(
+                    record.scenario_params, sort_keys=True
+                )
+                row["failure_iterations"] = ";".join(
+                    str(i) for i in record.failure_iterations
+                )
+                writer.writerow(row)
+        return path
+
+    @classmethod
+    def from_csv(cls, path, spec: Mapping[str, Any] | None = None) -> "CampaignResult":
+        records = []
+        try:
+            handle = pathlib.Path(path).open(newline="")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read campaign CSV {path}: {exc}") from exc
+        with handle:
+            for row in csv.DictReader(handle):
+                payload = {
+                    key: _CSV_CONVERTERS.get(key, str)(value)
+                    for key, value in row.items()
+                }
+                records.append(CampaignRunRecord.from_dict(payload))
+        return cls(spec=spec or {}, records=records)
+
+    # ----------------------------------------------------------- aggregation
+
+    def problems(self) -> tuple[str, ...]:
+        return tuple(sorted({r.problem for r in self.records}))
+
+    def overhead_rows(self, problem: str | None = None) -> list[dict[str, Any]]:
+        """Median overheads per (strategy, T, scenario, ϕ) cell.
+
+        The campaign analogue of the paper's Table-2 cells: each row
+        carries the median total overhead vs. the reference solver and
+        the median reconstruction (recovery) overhead, over the
+        repetitions that landed in the cell.
+        """
+        groups: dict[tuple, list[CampaignRunRecord]] = {}
+        for record in self.records:
+            if problem is not None and record.problem != problem:
+                continue
+            if record.strategy == "reference":
+                continue
+            key = (record.strategy, record.T, record.scenario_label, record.phi)
+            groups.setdefault(key, []).append(record)
+        rows = []
+        for (strategy, T, scenario, phi), cell in sorted(groups.items()):
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "T": T,
+                    "scenario": scenario,
+                    "phi": phi,
+                    "runs": len(cell),
+                    "converged": all(r.converged for r in cell),
+                    "total_overhead": median([r.total_overhead for r in cell]),
+                    "recovery_overhead": median([r.recovery_overhead for r in cell]),
+                    "wasted_iterations": median(
+                        [float(r.wasted_iterations) for r in cell]
+                    ),
+                }
+            )
+        return rows
+
+    # -------------------------------------------------------------- rendering
+
+    def render_summary(self) -> str:
+        """Table-2-shaped text report: overheads per strategy/T/scenario/ϕ."""
+        if not self.records:
+            raise ConfigurationError("campaign has no records to summarise")
+        lines: list[str] = []
+        converged = sum(1 for r in self.records if r.converged)
+        lines.append(
+            f"campaign {self.name!r}: {len(self.records)} runs, "
+            f"{converged} converged"
+        )
+        for problem in self.problems():
+            sample = next(r for r in self.records if r.problem == problem)
+            lines.append("")
+            lines.append(
+                f"problem {problem} (scale={sample.scale}, N={sample.n_nodes}, "
+                f"t0 = {sample.reference_time:.4g} s, C = {sample.reference_iterations})"
+            )
+            phis = sorted(
+                {r.phi for r in self.records
+                 if r.problem == problem and r.strategy != "reference"}
+            )
+            total_hdr = " ".join(f"phi={phi:<3d}" for phi in phis)
+            header = (
+                f"{'Strategy':9s} {'T':>4s} | {'Scenario':34s} | "
+                f"{'Total overhead [%]':^{max(len(total_hdr), 20)}s} | "
+                f"{'Reconstruction [%]':^{max(len(total_hdr), 20)}s} | {'wasted':>7s}"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            rows = self.overhead_rows(problem)
+            cells: dict[tuple, dict[int, dict]] = {}
+            for row in rows:
+                key = (row["strategy"], row["T"], row["scenario"])
+                cells.setdefault(key, {})[row["phi"]] = row
+            last_strategy_T = None
+            for (strategy, T, scenario), by_phi in sorted(
+                cells.items(), key=lambda item: (item[0][0] != "esr", item[0])
+            ):
+                label = "ESR" if strategy == "esr" and T == 1 else strategy.upper()
+                first = (strategy, T) != last_strategy_T
+                last_strategy_T = (strategy, T)
+                total = " ".join(
+                    f"{100 * by_phi[phi]['total_overhead']:6.1f} " if phi in by_phi
+                    else "    -  "
+                    for phi in phis
+                )
+                rec = " ".join(
+                    f"{100 * by_phi[phi]['recovery_overhead']:6.1f} " if phi in by_phi
+                    else "    -  "
+                    for phi in phis
+                )
+                wasted = max(
+                    (by_phi[phi]["wasted_iterations"] for phi in by_phi), default=0.0
+                )
+                lines.append(
+                    f"{label if first else '':9s} {(str(T) if first else ''):>4s} | "
+                    f"{scenario:34s} | "
+                    f"{total:^{max(len(total_hdr), 20)}s} | "
+                    f"{rec:^{max(len(total_hdr), 20)}s} | {wasted:7.1f}"
+                )
+        return "\n".join(lines)

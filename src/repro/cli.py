@@ -9,6 +9,12 @@ Commands
 ``experiment``
     Run the paper's Table-2/3 experiment grid for one problem and print
     the rendered table (quick mode by default from the CLI).
+``campaign``
+    Scenario-campaign sweeps (:mod:`repro.campaign`): ``campaign run``
+    expands a declarative spec (built-in demo sweep, or a JSON file via
+    ``--spec``) and executes it on a process pool; ``campaign report``
+    re-renders the Table-2-style overhead comparison from stored
+    results and can export them to CSV.
 ``info``
     List available problems, strategies and preconditioners.
 
@@ -17,7 +23,12 @@ Examples::
     python -m repro solve --problem emilia_923_like --scale tiny \
         --strategy esrp -T 10 --phi 2 --fail 40:0,1
     python -m repro experiment --problem emilia_923_like --quick
+    python -m repro campaign run --workers 4 --out campaign.json
+    python -m repro campaign report --results campaign.json --csv campaign.csv
     python -m repro info
+
+Development: the tier-1 test suite is ``python -m pytest -x -q`` from
+the repository root (``pytest.ini`` puts ``src`` on the import path).
 """
 
 from __future__ import annotations
@@ -87,6 +98,41 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_cmd.add_argument("--full", dest="quick", action="store_false",
                          help="full paper constellation (slow)")
 
+    campaign_cmd = commands.add_parser(
+        "campaign",
+        help="scenario-campaign sweeps (run / report)",
+        description="Expand a declarative sweep spec into seeded runs, execute "
+        "them on a process pool, and aggregate Table-2-style overhead reports. "
+        "See the repro.campaign module docstring for the JSON spec schema.",
+    )
+    campaign_sub = campaign_cmd.add_subparsers(dest="campaign_command", required=True)
+
+    run_cmd = campaign_sub.add_parser(
+        "run", help="expand a campaign spec and execute every run"
+    )
+    run_cmd.add_argument("--spec", default=None, metavar="FILE",
+                         help="JSON campaign spec (default: built-in demo sweep)")
+    run_cmd.add_argument("--out", default="campaign_results.json", metavar="FILE",
+                         help="where to store the result records (JSON)")
+    run_cmd.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (0/1 = serial; default: auto)")
+    run_cmd.add_argument("--scale", default="tiny", choices=available_scales(),
+                         help="matrix scale of the built-in demo sweep")
+    run_cmd.add_argument("--repetitions", type=int, default=None,
+                         help="override the spec's repetitions per cell")
+    run_cmd.add_argument("--list", action="store_true", dest="list_only",
+                         help="print the expanded run list and exit")
+    run_cmd.add_argument("--quiet", action="store_true",
+                         help="suppress per-run progress lines")
+
+    report_cmd = campaign_sub.add_parser(
+        "report", help="render the overhead comparison from stored results"
+    )
+    report_cmd.add_argument("--results", required=True, metavar="FILE",
+                           help="JSON file written by 'campaign run'")
+    report_cmd.add_argument("--csv", default=None, metavar="FILE",
+                           help="additionally export the raw records to CSV")
+
     commands.add_parser("info", help="list problems/strategies/preconditioners")
     return parser
 
@@ -155,6 +201,57 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .campaign import CampaignResult, CampaignSpec, demo_spec, execute_campaign
+    from .campaign.executor import default_workers
+    from .campaign.spec import expand_spec
+
+    if args.campaign_command == "report":
+        result = CampaignResult.from_json(args.results)
+        print(result.render_summary())
+        if args.csv:
+            path = result.to_csv(args.csv)
+            print(f"\nwrote {len(result)} records to {path}")
+        return 0
+
+    # campaign run
+    if args.spec:
+        spec = CampaignSpec.from_json(args.spec)
+    else:
+        spec = demo_spec(scale=args.scale)
+    if args.repetitions is not None:
+        spec = dataclasses.replace(spec, repetitions=args.repetitions)
+    runs = expand_spec(spec)
+    if not runs:
+        raise ConfigurationError(
+            f"campaign {spec.name!r} expands to zero runs "
+            "(a reference-only strategy list prunes every failure scenario)"
+        )
+    if args.list_only:
+        for run in runs:
+            print(run.run_id)
+        print(f"\n{len(runs)} runs")
+        return 0
+    workers = args.workers if args.workers is not None else default_workers(len(runs))
+    print(f"campaign {spec.name!r}: {len(runs)} runs on "
+          f"{'a serial loop' if workers <= 1 else f'{workers} pool workers'} ...",
+          flush=True)
+    progress = None
+    if not args.quiet:
+        def progress(done, total, record):  # noqa: E306
+            status = "ok " if record.converged else "FAIL"
+            print(f"  [{done:>3d}/{total}] {status} {record.run_id} "
+                  f"(+{100 * record.total_overhead:.1f}%)", flush=True)
+    result = execute_campaign(spec, workers=workers, progress=progress)
+    print()
+    print(result.render_summary())
+    path = result.to_json(args.out)
+    print(f"\nwrote {len(result)} records to {path}")
+    return 0 if all(record.converged for record in result) else 1
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__} — ICPP 2020 ESRP reproduction")
     print(f"problems:         {', '.join(available_problems())}")
@@ -173,6 +270,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
         if args.command == "info":
             return _cmd_info(args)
     except ReproError as exc:

@@ -1,0 +1,118 @@
+"""Campaign execution: worker correctness and pool/serial equivalence."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ScenarioSpec,
+    StrategySpec,
+    execute_campaign,
+    run_one,
+)
+from repro.campaign.executor import default_workers, execute_runs
+from repro.campaign.spec import expand_spec
+from repro.exceptions import ConfigurationError
+
+pytestmark = pytest.mark.campaign
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    defaults = dict(
+        name="exec-unit",
+        problems=(("emilia_923_like", "tiny"),),
+        n_nodes=4,
+        strategies=(StrategySpec("esr"), StrategySpec("esrp", (10,))),
+        phis=(1,),
+        scenarios=(
+            ScenarioSpec.make("failure_free"),
+            ScenarioSpec.make("fraction", fraction=0.5),
+        ),
+        repetitions=1,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def comparable(record) -> dict:
+    data = record.to_dict()
+    data.pop("wall_time")  # host-load dependent, everything else is modeled
+    return data
+
+
+class TestRunOne:
+    def test_failure_free_run(self):
+        run = next(
+            r for r in expand_spec(tiny_spec()) if r.scenario.kind == "failure_free"
+        )
+        record = run_one(run)
+        assert record.converged
+        assert record.n_failures == 0
+        assert record.failure_iterations == ()
+        assert record.iterations == record.reference_iterations
+        assert record.solution_error < 1e-6
+        assert record.total_overhead > 0  # redundancy is never free
+        assert record.recovery_overhead == 0.0
+
+    def test_failure_run_records_recovery(self):
+        run = next(
+            r for r in expand_spec(tiny_spec()) if r.scenario.kind == "fraction"
+        )
+        record = run_one(run)
+        assert record.converged
+        assert record.n_failures == 1
+        assert len(record.failure_iterations) == 1
+        assert record.recovery_time > 0
+        assert record.recovery_overhead > 0
+        assert record.solution_error < 1e-6
+
+    def test_run_one_is_deterministic(self):
+        run = expand_spec(tiny_spec())[0]
+        assert comparable(run_one(run)) == comparable(run_one(run))
+
+    def test_reference_strategy_run(self):
+        spec = tiny_spec(strategies=(StrategySpec("reference"),))
+        (run,) = expand_spec(spec)
+        record = run_one(run)
+        assert record.strategy == "reference"
+        assert record.total_overhead == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPoolEqualsSerial:
+    def test_pool_matches_serial_result_for_result(self):
+        spec = tiny_spec()
+        serial = execute_campaign(spec, workers=0)
+        pooled = execute_campaign(spec, workers=3)
+        assert len(serial) == len(pooled) == len(expand_spec(spec))
+        for a, b in zip(serial, pooled):
+            assert comparable(a) == comparable(b)
+
+    def test_record_order_matches_run_order(self):
+        spec = tiny_spec()
+        runs = expand_spec(spec)
+        result = execute_campaign(spec, workers=2)
+        assert [r.run_id for r in result] == [r.run_id for r in runs]
+
+
+class TestDriver:
+    def test_progress_callback_sees_every_run(self):
+        spec = tiny_spec()
+        seen = []
+        execute_campaign(spec, workers=0, progress=lambda i, n, rec: seen.append((i, n)))
+        total = len(expand_spec(spec))
+        assert seen == [(i + 1, total) for i in range(total)]
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_runs(expand_spec(tiny_spec()), workers=-1)
+
+    def test_empty_campaign_rejected(self):
+        spec = tiny_spec(
+            strategies=(StrategySpec("reference"),),
+            scenarios=(ScenarioSpec.make("fraction"),),
+        )
+        with pytest.raises(ConfigurationError):
+            execute_campaign(spec)  # reference + failure scenario prunes to zero
+
+    def test_default_workers_bounds(self):
+        assert 1 <= default_workers(1) <= 1
+        assert default_workers(1000) <= 8

@@ -1,0 +1,94 @@
+"""CampaignResult persistence (JSON/CSV round-trips) and aggregation."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignResult,
+    CampaignRunRecord,
+    CampaignSpec,
+    ScenarioSpec,
+    StrategySpec,
+    execute_campaign,
+)
+from repro.exceptions import ConfigurationError
+
+pytestmark = pytest.mark.campaign
+
+
+@pytest.fixture(scope="module")
+def small_result() -> CampaignResult:
+    spec = CampaignSpec(
+        name="results-unit",
+        problems=(("emilia_923_like", "tiny"),),
+        n_nodes=4,
+        strategies=(StrategySpec("esr"), StrategySpec("imcr", (10,))),
+        phis=(1,),
+        scenarios=(
+            ScenarioSpec.make("failure_free"),
+            ScenarioSpec.make("worst_case", location="start"),
+        ),
+        repetitions=2,
+    )
+    return execute_campaign(spec, workers=0)
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self, small_result, tmp_path):
+        path = small_result.to_json(tmp_path / "result.json")
+        loaded = CampaignResult.from_json(path)
+        assert loaded.spec == small_result.spec
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in small_result]
+
+    def test_summary_survives_round_trip(self, small_result, tmp_path):
+        path = small_result.to_json(tmp_path / "result.json")
+        loaded = CampaignResult.from_json(path)
+        assert loaded.render_summary() == small_result.render_summary()
+
+
+class TestCsvRoundTrip:
+    def test_records_round_trip(self, small_result, tmp_path):
+        path = small_result.to_csv(tmp_path / "result.csv")
+        loaded = CampaignResult.from_csv(path)
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in small_result]
+
+    def test_csv_has_header_and_rows(self, small_result, tmp_path):
+        path = small_result.to_csv(tmp_path / "result.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("run_id,problem,scale")
+        assert len(lines) == len(small_result) + 1
+
+
+class TestAggregation:
+    def test_overhead_rows_group_by_cell(self, small_result):
+        rows = small_result.overhead_rows()
+        # 2 strategies x 2 scenarios x 1 phi; repetitions collapse into cells
+        assert len(rows) == 4
+        for row in rows:
+            assert row["runs"] == 2
+            assert row["converged"]
+        keys = {(r["strategy"], r["T"], r["scenario"], r["phi"]) for r in rows}
+        assert ("esr", 1, "worst_case(location=start)", 1) in keys
+        assert ("imcr", 10, "failure_free", 1) in keys
+
+    def test_failure_cells_report_recovery(self, small_result):
+        failure_rows = [
+            r for r in small_result.overhead_rows() if "worst_case" in r["scenario"]
+        ]
+        assert failure_rows
+        for row in failure_rows:
+            assert row["recovery_overhead"] > 0
+
+    def test_render_summary_table_shape(self, small_result):
+        text = small_result.render_summary()
+        assert "Total overhead [%]" in text
+        assert "Reconstruction [%]" in text
+        assert "ESR" in text and "IMCR" in text
+        assert "worst_case(location=start)" in text
+
+    def test_empty_result_cannot_render(self):
+        with pytest.raises(ConfigurationError):
+            CampaignResult(spec={}, records=[]).render_summary()
+
+    def test_record_from_dict_round_trip(self, small_result):
+        record = small_result.records[0]
+        assert CampaignRunRecord.from_dict(record.to_dict()) == record

@@ -1,0 +1,152 @@
+"""Campaign spec expansion: deterministic, duplicate-free, well-seeded."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, ScenarioSpec, StrategySpec, demo_spec
+from repro.campaign.spec import derive_seed, expand_spec
+from repro.exceptions import ConfigurationError
+
+
+def sweep_spec(**overrides) -> CampaignSpec:
+    defaults = dict(
+        name="unit",
+        problems=(("emilia_923_like", "tiny"),),
+        n_nodes=8,
+        strategies=(
+            StrategySpec("esr"),
+            StrategySpec("esrp", (20, 50)),
+            StrategySpec("imcr", (20,)),
+        ),
+        phis=(1, 2),
+        scenarios=(
+            ScenarioSpec.make("failure_free"),
+            ScenarioSpec.make("worst_case", location="start"),
+        ),
+        repetitions=2,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestExpansion:
+    def test_cartesian_size(self):
+        runs = expand_spec(sweep_spec())
+        # 4 (strategy,T) rows x 2 phis x 2 scenarios x 2 reps
+        assert len(runs) == 4 * 2 * 2 * 2
+
+    def test_deterministic_order_and_seeds(self):
+        a = expand_spec(sweep_spec())
+        b = expand_spec(sweep_spec())
+        assert [r.run_id for r in a] == [r.run_id for r in b]
+        assert [r.seed for r in a] == [r.seed for r in b]
+
+    def test_duplicate_free(self):
+        runs = expand_spec(sweep_spec())
+        assert len({r.run_id for r in runs}) == len(runs)
+
+    def test_esrp_small_T_collapses_to_esr(self):
+        spec = sweep_spec(
+            strategies=(StrategySpec("esr"), StrategySpec("esrp", (1, 2))),
+            phis=(1,),
+            scenarios=(ScenarioSpec.make("failure_free"),),
+            repetitions=1,
+        )
+        runs = expand_spec(spec)
+        # esr, esrp@1 and esrp@2 are the same configuration -> one run
+        assert len(runs) == 1
+        assert runs[0].strategy == "esr"
+        assert runs[0].T == 1
+
+    def test_reference_only_failure_free(self):
+        spec = sweep_spec(
+            strategies=(StrategySpec("reference"),),
+            phis=(1, 2),
+            repetitions=1,
+        )
+        runs = expand_spec(spec)
+        assert len(runs) == 1  # failure scenarios and phi sweep pruned
+        assert runs[0].scenario.kind == "failure_free"
+        assert runs[0].phi == 1
+
+    def test_per_run_seeds_differ(self):
+        runs = expand_spec(sweep_spec())
+        seeds = [r.seed for r in runs]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_base_seed_changes_all_run_seeds(self):
+        a = expand_spec(sweep_spec(seed=1))
+        b = expand_spec(sweep_spec(seed=2))
+        assert all(ra.seed != rb.seed for ra, rb in zip(a, b))
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(7, "some:run") == derive_seed(7, "some:run")
+        assert derive_seed(7, "some:run") != derive_seed(8, "some:run")
+
+
+class TestRoundTrip:
+    def test_spec_dict_round_trip(self):
+        spec = sweep_spec()
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert [r.run_id for r in expand_spec(clone)] == [
+            r.run_id for r in expand_spec(spec)
+        ]
+
+    def test_spec_json_round_trip(self, tmp_path):
+        import json
+
+        spec = demo_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert CampaignSpec.from_json(path) == spec
+
+    def test_runspec_dict_round_trip(self):
+        from repro.campaign import RunSpec
+
+        run = expand_spec(sweep_spec())[0]
+        assert RunSpec.from_dict(run.to_dict()) == run
+
+
+class TestValidation:
+    def test_unknown_scenario_kind(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.make("meteor_strike")
+
+    def test_unknown_spec_key(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec.from_dict({"name": "x", "surprise": 1})
+
+    def test_problem_entry_forms(self):
+        spec = CampaignSpec.from_dict({
+            "problems": [
+                "emilia_923_like",                               # bare name
+                {"name": "audikw_1_like", "scale": "small"},     # object
+                ["emilia_923_like", "small"],                    # pair
+            ],
+        })
+        assert spec.problems == (
+            ("emilia_923_like", "tiny"),
+            ("audikw_1_like", "small"),
+            ("emilia_923_like", "small"),
+        )
+
+    def test_malformed_problem_entries(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec.from_dict({"problems": [{"scale": "tiny"}]})
+        with pytest.raises(ConfigurationError):
+            CampaignSpec.from_dict({"problems": [["too", "many", "parts"]]})
+
+    def test_phi_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            sweep_spec(phis=(8,))  # phi must stay < n_nodes
+
+    def test_empty_strategy_intervals(self):
+        with pytest.raises(ConfigurationError):
+            StrategySpec("esrp", ())
+
+    def test_demo_spec_covers_acceptance_floor(self):
+        """The built-in sweep must stay >= 24 runs / 3 strategies / 2 generators."""
+        runs = expand_spec(demo_spec())
+        assert len(runs) >= 24
+        assert {r.strategy for r in runs} >= {"esr", "esrp", "imcr"}
+        assert len({r.scenario.kind for r in runs}) >= 2

@@ -1,0 +1,112 @@
+"""Regression: SpMV halo-exchange message counts/bytes vs. the plan.
+
+Communication-volume accounting feeds every modeled-runtime number in
+the paper tables, so it must not drift silently.  This pins, for a
+fixed 2-D Poisson partition (8x8 grid, 4 block rows):
+
+* the plan's per-pair ``I_{s,l}`` sets (literal expected values);
+* the statistics actually recorded by ``SpMVExecutor.exchange_halo``
+  against what the ``SpMVPlan`` promises (1 message per non-empty
+  pair, 8 bytes per entry);
+* linear growth of the counters over repeated multiplies (no hidden
+  per-call drift).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VirtualCluster, zero_cost_model
+from repro.cluster.cost_model import BYTES_PER_FLOAT
+from repro.distribution import (
+    BlockRowPartition,
+    DistributedMatrix,
+    DistributedVector,
+    SpMVExecutor,
+)
+from repro.distribution.spmv import HALO_CHANNEL
+from repro.matrices import poisson_2d
+
+GRID = 8
+N_NODES = 4
+
+#: 5-point stencil, block-row partition of 16 rows (= 2 grid rows) per
+#: node: each adjacent node pair exchanges exactly one grid row of 8
+#: entries in each direction, and non-adjacent pairs exchange nothing.
+EXPECTED_PAIR_COUNTS = {
+    (0, 1): 8,
+    (1, 0): 8,
+    (1, 2): 8,
+    (2, 1): 8,
+    (2, 3): 8,
+    (3, 2): 8,
+}
+EXPECTED_MESSAGES = len(EXPECTED_PAIR_COUNTS)          # 6
+EXPECTED_ENTRIES = sum(EXPECTED_PAIR_COUNTS.values())  # 48
+EXPECTED_BYTES = EXPECTED_ENTRIES * BYTES_PER_FLOAT    # 384
+
+
+@pytest.fixture
+def setup():
+    matrix = poisson_2d(GRID)
+    cluster = VirtualCluster(N_NODES, cost_model=zero_cost_model(), seed=0)
+    partition = BlockRowPartition.uniform(GRID * GRID, N_NODES)
+    dmatrix = DistributedMatrix(cluster, partition, matrix)
+    return cluster, partition, dmatrix
+
+
+def test_plan_pins_expected_pair_sets(setup):
+    _cluster, _partition, dmatrix = setup
+    plan = dmatrix.plan
+    observed = {
+        (d.src, d.dst): d.count
+        for sends in plan.sends
+        for d in sends
+        if d.count > 0
+    }
+    assert observed == EXPECTED_PAIR_COUNTS
+    assert plan.total_halo_entries() == EXPECTED_ENTRIES
+
+
+def test_exchange_halo_matches_plan_accounting(setup):
+    cluster, partition, dmatrix = setup
+    executor = SpMVExecutor(dmatrix)
+    x = DistributedVector.from_global(cluster, partition, np.arange(float(GRID * GRID)))
+
+    executor.exchange_halo(x)
+
+    stats = cluster.stats
+    assert stats.total_messages(HALO_CHANNEL) == EXPECTED_MESSAGES
+    assert stats.total_bytes(HALO_CHANNEL) == EXPECTED_BYTES
+    # the plan promises exactly this volume
+    assert stats.total_messages(HALO_CHANNEL) == sum(
+        1 for sends in dmatrix.plan.sends for d in sends if d.count > 0
+    )
+    assert stats.total_bytes(HALO_CHANNEL) == (
+        dmatrix.plan.total_halo_entries() * BYTES_PER_FLOAT
+    )
+    # per-node ledger agrees with the per-channel ledger
+    assert sum(stats.bytes_sent) == EXPECTED_BYTES
+    assert sum(stats.bytes_received) == EXPECTED_BYTES
+
+
+def test_repeated_multiplies_scale_linearly(setup):
+    cluster, partition, dmatrix = setup
+    executor = SpMVExecutor(dmatrix)
+    x = DistributedVector.from_global(cluster, partition, np.ones(GRID * GRID))
+
+    for repetition in range(1, 4):
+        executor.multiply(x)
+        assert cluster.stats.total_messages(HALO_CHANNEL) == repetition * EXPECTED_MESSAGES
+        assert cluster.stats.total_bytes(HALO_CHANNEL) == repetition * EXPECTED_BYTES
+
+
+def test_halo_payload_really_arrives(setup):
+    """The accounting must describe real data movement, not phantom bytes."""
+    cluster, partition, dmatrix = setup
+    executor = SpMVExecutor(dmatrix)
+    values = np.arange(float(GRID * GRID))
+    x = DistributedVector.from_global(cluster, partition, values)
+
+    result = executor.multiply(x)
+    dense = poisson_2d(GRID).toarray() @ values
+    np.testing.assert_allclose(result.to_global(), dense, rtol=1e-12)

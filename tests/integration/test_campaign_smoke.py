@@ -1,0 +1,101 @@
+"""End-to-end campaign smoke test: spec file -> pool -> report -> CSV.
+
+Kept deliberately small (a 4-run campaign on the tiny problem) so the
+whole module stays well under 30 seconds including process-pool
+start-up.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignResult, CampaignSpec, execute_campaign
+from repro.campaign.spec import expand_spec
+from repro.cli import main
+
+pytestmark = [pytest.mark.integration, pytest.mark.campaign]
+
+SPEC = {
+    "name": "smoke",
+    "problems": [{"name": "emilia_923_like", "scale": "tiny"}],
+    "n_nodes": 4,
+    "preconditioners": ["block_jacobi"],
+    "strategies": [
+        {"name": "esrp", "intervals": [10]},
+        {"name": "imcr", "intervals": [10]},
+    ],
+    "phis": [1],
+    "scenarios": [
+        {"kind": "worst_case", "location": "start"},
+        {"kind": "storm", "count": 2},
+    ],
+    "repetitions": 1,
+    "seed": 99,
+}
+
+
+def test_four_run_campaign_on_a_pool(tmp_path):
+    spec = CampaignSpec.from_dict(SPEC)
+    runs = expand_spec(spec)
+    assert len(runs) == 4
+
+    result = execute_campaign(spec, workers=2)
+    assert len(result) == 4
+    assert all(record.converged for record in result)
+    assert all(record.n_failures >= 1 for record in result)
+    assert all(record.solution_error < 1e-6 for record in result)
+
+    # persistence + report round-trip
+    json_path = result.to_json(tmp_path / "smoke.json")
+    loaded = CampaignResult.from_json(json_path)
+    assert loaded.render_summary() == result.render_summary()
+    csv_path = result.to_csv(tmp_path / "smoke.csv")
+    assert CampaignResult.from_csv(csv_path).records == result.records
+
+
+def test_campaign_cli_run_and_report(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    out_path = tmp_path / "results.json"
+
+    code = main(
+        ["campaign", "run", "--spec", str(spec_path), "--out", str(out_path),
+         "--workers", "2", "--quiet"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "4 runs" in out
+    assert "Total overhead [%]" in out
+    assert out_path.exists()
+
+    csv_path = tmp_path / "results.csv"
+    code = main(
+        ["campaign", "report", "--results", str(out_path), "--csv", str(csv_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ESRP" in out and "IMCR" in out
+    assert "Reconstruction [%]" in out
+    assert csv_path.exists()
+
+
+def test_campaign_cli_zero_run_spec_fails_cleanly(tmp_path, capsys):
+    spec_path = tmp_path / "zero.json"
+    spec_path.write_text(json.dumps({
+        "name": "zero",
+        "strategies": [{"name": "reference"}],
+        "scenarios": [{"kind": "worst_case"}],
+    }))
+    code = main(["campaign", "run", "--spec", str(spec_path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "zero runs" in captured.err
+
+
+def test_campaign_cli_list(capsys):
+    code = main(["campaign", "run", "--list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "24 runs" in out
+    assert "esrp" in out and "imcr" in out and "esr" in out
+    assert "mtbf" in out and "worst_case" in out

@@ -1,13 +1,24 @@
 """Smoke-run every example script (they assert their own claims)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _env_with_src() -> dict[str, str]:
+    """Subprocesses need src/ on PYTHONPATH even when pytest got it from pytest.ini."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
 
 
 def test_examples_exist():
@@ -23,6 +34,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=600,
+        env=_env_with_src(),
     )
     assert completed.returncode == 0, (
         f"{script.name} failed:\n{completed.stdout}\n{completed.stderr}"

@@ -1,0 +1,1 @@
+"""Test package for the repro test suite (enables relative conftest imports)."""
