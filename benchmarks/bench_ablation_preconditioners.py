@@ -40,31 +40,36 @@ PRECONDITIONERS = (
 
 def run_study():
     scale = "tiny" if is_quick() else "small"
-    matrix, b, _ = repro.matrices.load("emilia_923_like", scale=scale)
+    # One session serves the whole study: the matrix is distributed
+    # once, each preconditioner is factorised once, and each reference
+    # trajectory is computed once and reused by both strategies.
+    session = repro.SolverSession.from_problem(
+        "emilia_923_like", scale=scale, n_nodes=N_NODES,
+        cost_model=BENCH_COST_MODEL,
+    )
     rows = []
     for name in PRECONDITIONERS:
-        reference = repro.solve(
-            matrix, b, n_nodes=N_NODES, strategy="reference",
-            preconditioner=name, cost_model=BENCH_COST_MODEL,
-        )
-        t0 = reference.modeled_time
-        row = {"preconditioner": name, "iterations": reference.iterations}
+        reference = session.reference(preconditioner=name)
+        row = {"preconditioner": name, "iterations": reference.C}
         for strategy in ("esrp", "imcr"):
             try:
-                ff = repro.solve(
-                    matrix, b, n_nodes=N_NODES, strategy=strategy, T=T, phi=PHI,
-                    preconditioner=name, cost_model=BENCH_COST_MODEL,
+                ff = session.solve(
+                    repro.SolveRequest(strategy=strategy, T=T, phi=PHI,
+                                       preconditioner=name),
+                    with_reference=True,
                 )
-                j_fail = place_worst_case_failure(strategy, T, reference.iterations)
-                failed = repro.solve(
-                    matrix, b, n_nodes=N_NODES, strategy=strategy, T=T, phi=PHI,
-                    preconditioner=name, cost_model=BENCH_COST_MODEL,
-                    failures=[repro.FailureEvent(j_fail, (2, 3))],
+                j_fail = place_worst_case_failure(strategy, T, reference.C)
+                failed = session.solve(
+                    repro.SolveRequest(
+                        strategy=strategy, T=T, phi=PHI, preconditioner=name,
+                        failures=[repro.FailureEvent(j_fail, (2, 3))],
+                    ),
+                    with_reference=True,
                 )
                 row[strategy] = {
-                    "ff": (ff.modeled_time - t0) / t0,
-                    "total": (failed.modeled_time - t0) / t0,
-                    "reconstruction": failed.recovery_time / t0,
+                    "ff": ff.total_overhead,
+                    "total": failed.total_overhead,
+                    "reconstruction": failed.recovery_overhead,
                 }
             except ReconstructionUnsupportedError:
                 row[strategy] = None

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: resilient PCG in five minutes.
 
-Solves an SPD system on a simulated 8-node cluster with the paper's
-ESRP strategy (periodic algorithm-based checkpointing), kills three
-nodes mid-solve, and shows that the solver recovers the exact state and
-converges as if nothing had happened.
+Opens a :class:`repro.SolverSession` on an SPD test problem — the
+session owns the simulated 8-node cluster, the block-row distributed
+matrix and the factorised preconditioner, and caches the non-resilient
+reference trajectory — then serves two solves against it: the paper's
+ESRP strategy under a 3-node simultaneous failure, and the same
+constellation failure-free.  Setup is paid once, not per solve.
 
 Run:  python examples/quickstart.py
 """
@@ -15,50 +17,55 @@ import repro
 
 
 def main() -> None:
-    # 1. A test problem: the Emilia_923-like geomechanics stand-in.
-    scale = "tiny"  # tiny|small|bench
-    matrix, b, meta = repro.matrices.load("emilia_923_like", scale=scale)
+    # 1. A session on a test problem: the Emilia_923-like stand-in.
+    #    The cluster/partition/matrix/preconditioner are built once and
+    #    reused by every request served by this session.
+    session = repro.SolverSession.from_problem(
+        "emilia_923_like", scale="tiny", n_nodes=8  # tiny|small|bench
+    )
+    meta = session.meta
     print(f"problem: {meta.name} (stand-in for {meta.paper['paper_matrix']})")
     print(f"  n = {meta.n}, nnz = {meta.nnz}, {meta.nnz_per_row:.1f} nnz/row")
 
-    # 2. Reference run (no resilience) to know the undisturbed behaviour.
-    reference = repro.solve(matrix, b, n_nodes=8, strategy="reference")
-    print(f"\nreference PCG: C = {reference.iterations} iterations, "
-          f"modeled runtime t0 = {reference.modeled_time * 1e3:.2f} ms")
+    # 2. The reference trajectory (no resilience) is computed once and
+    #    cached; every later overhead comparison reuses it.
+    reference = session.reference()
+    print(f"\nreference PCG: C = {reference.C} iterations, "
+          f"modeled runtime t0 = {reference.t0 * 1e3:.2f} ms")
 
-    # 3. Resilient run: ESRP with storage interval T=10 and phi=3
-    #    redundant copies; 3 nodes die simultaneously halfway through.
-    failure = repro.FailureEvent(
-        iteration=reference.iterations // 2, ranks=(0, 1, 2)
-    )
-    result = repro.solve(
-        matrix,
-        b,
-        n_nodes=8,
-        strategy="esrp",
-        T=10,
-        phi=3,
-        failures=[failure],
-    )
+    # 3. A declarative request: ESRP with storage interval T=10 and
+    #    phi=3 redundant copies; 3 nodes die simultaneously halfway
+    #    through.  Invalid names/parameters would raise right here.
+    failure = repro.FailureEvent(iteration=reference.C // 2, ranks=(0, 1, 2))
+    request = repro.SolveRequest(strategy="esrp", T=10, phi=3, failures=[failure])
+    report = session.solve(request, with_reference=True)
 
     # 4. What happened?
     print(f"\nESRP run with {failure.width} simultaneous node failures "
           f"at iteration {failure.iteration}:")
-    print(f"  converged:           {result.converged}")
-    print(f"  trajectory length:   {result.iterations} iterations "
-          f"(reference: {reference.iterations})")
-    print(f"  re-executed (waste): {result.wasted_iterations} iterations")
-    print(f"  recovery time:       {result.recovery_time * 1e3:.3f} ms (modeled)")
-    print(f"  total overhead:      "
-          f"{100 * (result.modeled_time - reference.modeled_time) / reference.modeled_time:.1f} %")
+    print(f"  converged:           {report.converged}")
+    print(f"  trajectory length:   {report.iterations} iterations "
+          f"(reference: {reference.C})")
+    print(f"  re-executed (waste): {report.wasted_iterations} iterations")
+    print(f"  recovery time:       {report.recovery_time * 1e3:.3f} ms (modeled)")
+    print(f"  total overhead:      {100 * report.total_overhead:.1f} %")
 
     # 5. The recovered solution is the undisturbed one.
-    difference = np.linalg.norm(result.x - reference.x) / np.linalg.norm(reference.x)
-    print(f"  |x_esrp - x_ref| / |x_ref| = {difference:.2e}  (exact reconstruction)")
-
-    residual = np.linalg.norm(b - matrix @ result.x) / np.linalg.norm(b)
+    print(f"  |x_esrp - x_ref| / |x_ref| = {report.solution_error:.2e}  "
+          "(exact reconstruction)")
+    residual = np.linalg.norm(session.b - session.matrix_csr @ report.x)
+    residual /= np.linalg.norm(session.b)
     print(f"  true relative residual     = {residual:.2e}")
-    assert result.converged and difference < 1e-8
+    assert report.converged and report.solution_error < 1e-8
+
+    # 6. Follow-up solves reuse every cached piece of the session.
+    failure_free = session.solve(
+        repro.SolveRequest(strategy="esrp", T=10, phi=3), with_reference=True
+    )
+    print(f"\nfailure-free ESRP overhead: {100 * failure_free.total_overhead:.1f} % "
+          f"(setup events so far: {dict(session.setup_events)})")
+    assert session.setup_events["matrix"] == 1
+    assert session.setup_events["reference"] == 1
 
 
 if __name__ == "__main__":

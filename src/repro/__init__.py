@@ -12,17 +12,51 @@ Gradient Method"*, ICPP 2020 (DOI 10.1145/3404397.3404438):
   ESR, ESRP (the paper's contribution), in-memory buddy CR, and
   approximate-recovery baselines (:mod:`repro.solvers`, :mod:`repro.core`),
 * the experiment harness that regenerates every table and figure of the
-  paper's evaluation (:mod:`repro.harness`).
+  paper's evaluation (:mod:`repro.harness`),
+* a service-style API (:mod:`repro.api`): reusable
+  :class:`~repro.api.SolverSession` objects, declarative
+  :class:`~repro.api.SolveRequest`/:class:`~repro.api.SolveReport`
+  pairs, and decorator-based plugin registries.
 
-Quickstart::
+Quickstart — a session sets the problem up once (cluster, partition,
+distributed matrix, factorised preconditioner, cached reference
+trajectory) and serves many solves against it::
 
     import repro
+
+    session = repro.SolverSession.from_problem("emilia_923_like",
+                                               scale="small", n_nodes=8)
+    request = repro.SolveRequest(
+        strategy="esrp", T=20, phi=2,
+        failures=[repro.FailureEvent(iteration=50, ranks=(0, 1))],
+    )
+    report = session.solve(request, with_reference=True)
+    print(report.iterations, report.total_overhead, report.converged)
+
+    # sweep the same problem without re-paying setup:
+    reports = session.solve_many(
+        [repro.SolveRequest(strategy=s, T=20, phi=2)
+         for s in ("esr", "esrp", "imcr")],
+        with_reference=True,
+    )
+
+For one-shot use the classic convenience wrapper still works — it is a
+thin shim over a throwaway session::
+
     A, b, meta = repro.matrices.load("emilia_923_like", scale="small")
     result = repro.solve(
         A, b, n_nodes=8, strategy="esrp", T=20, phi=2,
         failures=[repro.FailureEvent(iteration=50, ranks=(0, 1))],
     )
     print(result.iterations, result.modeled_time, result.converged)
+
+Third-party components plug in via the registries::
+
+    from repro.api import register_strategy
+
+    @register_strategy("my_strategy")
+    def build(T=1, phi=1, **_):
+        return MyStrategy(T=T, phi=phi)
 """
 
 from __future__ import annotations
@@ -70,8 +104,17 @@ from .core import (
 )
 from .preconditioners import Preconditioner, make_preconditioner
 from .solvers import PCGEngine, SolveOptions, SolveResult, solve_reference
+from . import api
+from .api import (
+    SolveReport,
+    SolveRequest,
+    SolverSession,
+    register_matrix,
+    register_preconditioner,
+    register_strategy,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ASpMVExecutor",
@@ -104,9 +147,13 @@ __all__ = [
     "ReproError",
     "Ring",
     "SolveOptions",
+    "SolveReport",
+    "SolveRequest",
     "SolveResult",
+    "SolverSession",
     "SpMVExecutor",
     "VirtualCluster",
+    "api",
     "block_failure_ranks",
     "cluster",
     "core",
@@ -117,6 +164,9 @@ __all__ = [
     "matrices",
     "poisson_schedule",
     "preconditioners",
+    "register_matrix",
+    "register_preconditioner",
+    "register_strategy",
     "solve",
     "solve_reference",
     "solve_without_spares",
@@ -169,28 +219,34 @@ def solve(
         Machine model and noise seed for a freshly created cluster.
     rule:
         ASpMV extra-entry selection rule (``"paper"`` or ``"greedy"``).
+
+    Inputs are validated eagerly: unknown strategy/preconditioner
+    names, ``maxiter < 1`` and ``phi >= n_nodes`` raise
+    :class:`ConfigurationError` before any setup work happens.
     """
-    if cluster is None:
-        cluster = VirtualCluster(n_nodes, cost_model=cost_model, seed=seed)
-    partition = BlockRowPartition.uniform(matrix.shape[0], cluster.n_nodes)
-    dist_matrix = DistributedMatrix(cluster, partition, matrix)
-    precond = make_preconditioner(preconditioner, **precond_kwargs)
-    strat = make_strategy(strategy, T=T, phi=phi, rule=rule, destinations=destinations)
-    if failures is None:
-        schedule = FailureSchedule()
-    elif isinstance(failures, FailureSchedule):
-        schedule = failures
-    else:
-        schedule = FailureSchedule(list(failures))
-    engine = PCGEngine(
-        matrix=dist_matrix,
-        b=b,
-        preconditioner=precond,
-        strategy=strat,
-        options=SolveOptions(rtol=rtol, maxiter=maxiter),
-        failures=schedule,
+    request = api.SolveRequest(
+        strategy=strategy,
+        T=T,
+        phi=phi,
+        preconditioner=preconditioner,
+        precond_params=precond_kwargs,
+        rtol=rtol,
+        maxiter=maxiter,
+        failures=failures,
+        rule=rule,
+        destinations=destinations,
+        seed=seed,
+        n_nodes=cluster.n_nodes if cluster is not None else n_nodes,
     )
-    return engine.solve()
+    session = api.SolverSession(
+        matrix,
+        b,
+        n_nodes=n_nodes,
+        cost_model=cost_model,
+        seed=seed,
+        cluster=cluster,
+    )
+    return session.solve(request).result
 
 
 # Imported last: the campaign workers call back into :func:`solve`.

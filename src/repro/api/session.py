@@ -1,0 +1,390 @@
+"""Reusable solver sessions: set up once, solve many times.
+
+The paper's evaluation (§5) runs the same matrix / preconditioner /
+cluster constellation across dozens of strategy × T × ϕ cells.  A
+:class:`SolverSession` owns that constellation:
+
+* the :class:`~repro.cluster.communicator.VirtualCluster`, the
+  :class:`~repro.distribution.partition.BlockRowPartition` and the
+  :class:`~repro.distribution.matrix.DistributedMatrix` are built once
+  (lazily, on first use) and reused by every solve;
+* preconditioners are factorised once per (name, params) pair and
+  cached;
+* reference trajectories (t₀, C, x_ref of the non-resilient solver)
+  are cached per (preconditioner, rtol), so repeated failure scenarios
+  compare against a stored reference instead of recomputing it.
+
+Between solves the session-owned cluster is :meth:`reset
+<repro.cluster.communicator.VirtualCluster.reset>` (fresh clocks,
+statistics, liveness and noise RNG), so each solve's report is
+bit-identical to what a fresh one-shot :func:`repro.solve` with the
+same seed would produce — the monolithic ``repro.solve()`` is in fact
+a thin shim over a throwaway session.
+
+Every expensive setup step increments :attr:`SolverSession.setup_events`
+(a :class:`collections.Counter`), which tests and capacity planning can
+inspect to verify that reuse actually reuses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..cluster.communicator import VirtualCluster
+from ..cluster.cost_model import CostModel
+from ..distribution.matrix import DistributedMatrix
+from ..distribution.partition import BlockRowPartition
+from ..exceptions import ConfigurationError
+from .request import SolveReport, SolveRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class ReferenceTrajectory:
+    """Cached outcome of the non-resilient reference solver."""
+
+    #: Modeled runtime t₀ of the undisturbed solver (seconds).
+    t0: float
+    #: Iteration count C of the undisturbed trajectory.
+    C: int
+    #: The converged solution (exact-reconstruction comparisons).
+    x: np.ndarray = dataclasses.field(repr=False, compare=False)
+
+    @property
+    def x_norm(self) -> float:
+        return float(np.linalg.norm(self.x))
+
+
+class SolverSession:
+    """Serve many resilient solves against one problem constellation."""
+
+    def __init__(
+        self,
+        matrix,
+        b: np.ndarray,
+        *,
+        n_nodes: int = 8,
+        cost_model: CostModel | None = None,
+        topology=None,
+        seed: int | None = 0,
+        cluster: VirtualCluster | None = None,
+        meta=None,
+    ):
+        """Bind a session to one (matrix, b) problem.
+
+        Parameters
+        ----------
+        matrix, b:
+            Square SPD matrix (anything scipy.sparse accepts) and its
+            right-hand side.
+        n_nodes, cost_model, topology, seed:
+            Virtual-cluster construction knobs (ignored when
+            ``cluster`` is given).
+        cluster:
+            Adopt an existing cluster instead of owning a fresh one.
+            An adopted cluster is **not** reset between solves — its
+            clock and statistics continue across calls, preserving the
+            historical ``repro.solve(cluster=...)`` semantics.
+        meta:
+            Optional problem metadata (attached by :meth:`from_problem`).
+        """
+        self.matrix_csr = matrix
+        self.b = np.asarray(b, dtype=np.float64)
+        self.meta = meta
+        self._cost_model = cost_model
+        self._topology = topology
+        self._seed = seed
+        self._owns_cluster = cluster is None
+        self._cluster = cluster
+        self._n_nodes = int(cluster.n_nodes if cluster is not None else n_nodes)
+        self._partition: BlockRowPartition | None = None
+        self._dist_matrix: DistributedMatrix | None = None
+        self._preconditioners: dict[str, Any] = {}
+        self._references: dict[tuple[str, float], ReferenceTrajectory] = {}
+        #: Counts of expensive setup work: ``"cluster"``, ``"matrix"``,
+        #: ``"preconditioner"``, ``"reference"``.
+        self.setup_events: Counter[str] = Counter()
+        if cluster is not None:
+            # Adopted clusters were built by the caller; no setup charged.
+            self.setup_events["cluster"] += 0
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_problem(
+        cls,
+        name: str,
+        scale: str = "small",
+        *,
+        n_nodes: int = 8,
+        cost_model: CostModel | None = None,
+        topology=None,
+        seed: int | None = 0,
+        problem_seed: int = 2020,
+    ) -> "SolverSession":
+        """Build a session for a registered named problem.
+
+        ``problem_seed`` feeds the matrix generator (and exact
+        solution); ``seed`` feeds the cluster noise RNG.
+        """
+        from ..matrices import suite
+
+        matrix, b, meta = suite.load(name, scale=scale, seed=problem_seed)
+        return cls(
+            matrix,
+            b,
+            n_nodes=n_nodes,
+            cost_model=cost_model,
+            topology=topology,
+            seed=seed,
+            meta=meta,
+        )
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n_nodes
+
+    @property
+    def n(self) -> int:
+        return int(self.matrix_csr.shape[0])
+
+    @property
+    def cluster(self) -> VirtualCluster:
+        """The session cluster (built on first access)."""
+        if self._cluster is None:
+            self._cluster = VirtualCluster(
+                self._n_nodes,
+                cost_model=self._cost_model,
+                topology=self._topology,
+                seed=self._seed,
+            )
+            self.setup_events["cluster"] += 1
+        return self._cluster
+
+    @property
+    def partition(self) -> BlockRowPartition:
+        if self._partition is None:
+            self._partition = BlockRowPartition.uniform(self.n, self._n_nodes)
+        return self._partition
+
+    @property
+    def matrix(self) -> DistributedMatrix:
+        """The distributed matrix (split + comm plan built on first access)."""
+        if self._dist_matrix is None:
+            self._dist_matrix = DistributedMatrix(
+                self.cluster, self.partition, self.matrix_csr
+            )
+            self.setup_events["matrix"] += 1
+        return self._dist_matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.meta.name if self.meta is not None else f"n={self.n}"
+        return (
+            f"SolverSession({label}, n_nodes={self._n_nodes}, "
+            f"solves={self.setup_events.get('solve', 0)})"
+        )
+
+    # ------------------------------------------------------------- components
+
+    def _preconditioner_for(self, request: SolveRequest):
+        """Cached, already-factorised preconditioner for ``request``."""
+        from ..preconditioners import make_preconditioner
+
+        key = request.precond_key
+        precond = self._preconditioners.get(key)
+        if precond is None:
+            precond = make_preconditioner(
+                request.preconditioner, **request.precond_params
+            )
+            precond.setup(self.matrix)  # factorise once; engines reuse it
+            self._preconditioners[key] = precond
+            self.setup_events["preconditioner"] += 1
+        return precond
+
+    # ---------------------------------------------------------------- solving
+
+    def _execute(self, request: SolveRequest, x0: np.ndarray | None = None):
+        """Run one engine against the shared infrastructure."""
+        from ..core.strategies import make_strategy
+        from ..solvers.engine import PCGEngine, SolveOptions
+
+        request.validate_for(self._n_nodes)
+        precond = self._preconditioner_for(request)
+        if self._owns_cluster:
+            seed = request.seed if request.seed is not None else self._seed
+            self.cluster.reset(seed=seed)
+        strategy = make_strategy(
+            request.strategy,
+            T=request.T,
+            phi=request.phi,
+            rule=request.rule,
+            destinations=request.destinations,
+        )
+        engine = PCGEngine(
+            matrix=self.matrix,
+            b=self.b,
+            preconditioner=precond,
+            strategy=strategy,
+            options=SolveOptions(rtol=request.rtol, maxiter=request.maxiter),
+            failures=request.schedule(),
+        )
+        self.setup_events["solve"] += 1
+        return engine.solve(x0=x0)
+
+    def reference(
+        self,
+        preconditioner: str = "block_jacobi",
+        rtol: float = 1e-8,
+        precond_params: dict | None = None,
+        maxiter: int | None = None,
+    ) -> ReferenceTrajectory:
+        """The cached (t₀, C, x_ref) reference trajectory.
+
+        Computed with the non-resilient solver on its first request per
+        (preconditioner, rtol) pair; every later call — and every
+        ``solve(..., with_reference=True)`` — reuses the cache.
+        """
+        request = SolveRequest(
+            strategy="reference",
+            preconditioner=preconditioner,
+            precond_params=precond_params or {},
+            rtol=rtol,
+            maxiter=maxiter,
+            seed=self._seed,
+        )
+        return self._reference_for(request)
+
+    def _reference_for(self, request: SolveRequest) -> ReferenceTrajectory:
+        key = (request.precond_key, request.rtol)
+        cached = self._references.get(key)
+        if cached is not None:
+            return cached
+        ref_request = SolveRequest(
+            strategy="reference",
+            preconditioner=request.preconditioner,
+            precond_params=request.precond_params,
+            rtol=request.rtol,
+            maxiter=request.maxiter,
+            seed=self._seed,
+        )
+        result = self._execute(ref_request)
+        trajectory = ReferenceTrajectory(
+            t0=result.modeled_time, C=result.iterations, x=result.x
+        )
+        self._references[key] = trajectory
+        self.setup_events["reference"] += 1
+        return trajectory
+
+    def solve(
+        self,
+        request: SolveRequest | None = None,
+        *,
+        with_reference: bool = False,
+        x0: np.ndarray | None = None,
+        **kwargs,
+    ) -> SolveReport:
+        """Serve one :class:`SolveRequest` (or build one from kwargs).
+
+        ``with_reference=True`` attaches the cached reference
+        trajectory's overhead metrics (t₀, C, total/recovery overhead,
+        solution error) to the report, computing the reference first if
+        this (preconditioner, rtol) pair has never been solved.
+        """
+        if request is None:
+            request = SolveRequest(**kwargs)
+        elif kwargs:
+            raise ConfigurationError(
+                "pass either a SolveRequest or keyword arguments, not both"
+            )
+        request.validate_for(self._n_nodes)
+
+        reference = None
+        if with_reference:
+            reference = self._reference_for(request)
+        result = self._execute(request, x0=x0)
+        return self._report(request, result, reference)
+
+    def solve_many(
+        self,
+        requests: Iterable[SolveRequest],
+        *,
+        with_reference: bool = False,
+    ) -> list[SolveReport]:
+        """Serve a batch of requests against the shared setup.
+
+        All requests are validated against the session cluster before
+        the first engine runs (a typo in request #7 should not cost the
+        wall-time of requests #1–6).
+        """
+        batch: Sequence[SolveRequest] = list(requests)
+        for request in batch:
+            if not isinstance(request, SolveRequest):
+                raise ConfigurationError(
+                    f"solve_many expects SolveRequest items, got {type(request).__name__}"
+                )
+            request.validate_for(self._n_nodes)
+        return [
+            self.solve(request, with_reference=with_reference) for request in batch
+        ]
+
+    # --------------------------------------------------------------- reports
+
+    def _report(
+        self,
+        request: SolveRequest,
+        result,
+        reference: ReferenceTrajectory | None,
+    ) -> SolveReport:
+        failure_iterations = tuple(event.iteration for event in request.failures)
+        overhead = recovery = error = None
+        if reference is not None:
+            if reference.t0 > 0:
+                overhead = (result.modeled_time - reference.t0) / reference.t0
+                recovery = result.recovery_time / reference.t0
+            error = (
+                float(np.linalg.norm(result.x - reference.x)) / reference.x_norm
+                if reference.x_norm
+                else 0.0
+            )
+        return SolveReport(
+            request=request,
+            strategy=result.strategy,
+            converged=result.converged,
+            iterations=result.iterations,
+            executed_iterations=result.executed_iterations,
+            relative_residual=result.relative_residual,
+            modeled_time=result.modeled_time,
+            recovery_time=result.recovery_time,
+            wall_time=result.wall_time,
+            n_failures=len(request.failures),
+            failure_iterations=failure_iterations,
+            stats=dict(result.stats),
+            reference_time=reference.t0 if reference is not None else None,
+            reference_iterations=reference.C if reference is not None else None,
+            total_overhead=overhead,
+            recovery_overhead=recovery,
+            solution_error=error,
+            result=result,
+        )
+
+
+def solve_many(
+    matrix,
+    b: np.ndarray,
+    requests: Iterable[SolveRequest],
+    *,
+    n_nodes: int = 8,
+    cost_model: CostModel | None = None,
+    seed: int | None = 0,
+    with_reference: bool = False,
+) -> list[SolveReport]:
+    """One-shot batch convenience: a throwaway session serving a batch."""
+    session = SolverSession(
+        matrix, b, n_nodes=n_nodes, cost_model=cost_model, seed=seed
+    )
+    return session.solve_many(requests, with_reference=with_reference)

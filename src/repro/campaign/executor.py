@@ -5,10 +5,12 @@ Design notes
 * :func:`run_one` is a **module-level** function taking one picklable
   :class:`RunSpec`, so it crosses ``ProcessPoolExecutor`` boundaries
   under both fork and spawn start methods.
-* Matrix generation and the reference solve are memoised **per worker
-  process** (``functools.lru_cache``): a campaign re-uses one matrix
-  and one reference trajectory per problem configuration instead of
-  recomputing them for all of its runs.
+* Each worker process keeps a memoised
+  :class:`~repro.api.session.SolverSession` per problem configuration
+  (``functools.lru_cache``): the matrix, cluster, partition,
+  distributed matrix, factorised preconditioners and the reference
+  trajectory are set up once per worker and reused by every run
+  against the same configuration.
 * All randomness is derived from seeds carried by the ``RunSpec``
   (cluster noise and stochastic scenarios from ``run.seed``, matrix
   generation from ``run.problem_seed``), so pool execution is
@@ -21,11 +23,9 @@ from __future__ import annotations
 import concurrent.futures
 import functools
 import os
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
-import numpy as np
-
-from ..cluster.failures import FailureSchedule
+from ..api.request import SolveRequest
 from ..exceptions import ConfigurationError
 from .results import CampaignResult, CampaignRunRecord
 from .scenarios import ScenarioContext, generate_schedule
@@ -36,82 +36,52 @@ ProgressFn = Callable[[int, int, CampaignRunRecord], None]
 
 
 @functools.lru_cache(maxsize=8)
-def _load_problem(problem: str, scale: str, seed: int):
-    from ..matrices import suite
-
-    return suite.load(problem, scale=scale, seed=seed)
-
-
-@functools.lru_cache(maxsize=32)
-def _reference(
-    problem: str,
-    scale: str,
-    n_nodes: int,
-    preconditioner: str,
-    rtol: float,
-    problem_seed: int,
-):
-    """(t0, C, x_ref) of the non-resilient reference solver."""
-    import repro
+def _session_for(problem: str, scale: str, n_nodes: int, problem_seed: int):
+    """Per-worker-process session cache (one per problem configuration)."""
+    from ..api.session import SolverSession
     from ..harness.calibration import BENCH_COST_MODEL
 
-    matrix, b, _meta = _load_problem(problem, scale, problem_seed)
-    result = repro.solve(
-        matrix,
-        b,
+    return SolverSession.from_problem(
+        problem,
+        scale=scale,
         n_nodes=n_nodes,
-        strategy="reference",
-        preconditioner=preconditioner,
-        rtol=rtol,
         cost_model=BENCH_COST_MODEL,
         seed=problem_seed,
+        problem_seed=problem_seed,
     )
-    return result.modeled_time, result.iterations, result.x
 
 
 def run_one(run: RunSpec) -> CampaignRunRecord:
     """Execute one fully-resolved run and flatten it into a record."""
-    import repro
-    from ..harness.calibration import BENCH_COST_MODEL
-
-    matrix, b, _meta = _load_problem(run.problem, run.scale, run.problem_seed)
-    t0, C, x_ref = _reference(
-        run.problem, run.scale, run.n_nodes, run.preconditioner,
-        run.rtol, run.problem_seed,
-    )
+    session = _session_for(run.problem, run.scale, run.n_nodes, run.problem_seed)
+    reference = session.reference(preconditioner=run.preconditioner, rtol=run.rtol)
 
     if run.strategy == "reference":
-        schedule = FailureSchedule()
+        failures = ()
     else:
         ctx = ScenarioContext(
             n_nodes=run.n_nodes,
             phi=run.phi,
             strategy=run.strategy,
             T=run.T,
-            reference_iterations=C,
+            reference_iterations=reference.C,
             seed=run.seed,
         )
-        schedule = generate_schedule(run.scenario, ctx)
-    failure_iterations = tuple(event.iteration for event in schedule)
+        failures = generate_schedule(run.scenario, ctx)
 
-    result = repro.solve(
-        matrix,
-        b,
-        n_nodes=run.n_nodes,
+    request = SolveRequest(
         strategy=run.strategy,
         T=run.T,
         phi=run.phi,
         preconditioner=run.preconditioner,
         rtol=run.rtol,
-        failures=schedule,
-        cost_model=BENCH_COST_MODEL,
+        failures=failures,
         seed=run.seed,
+        n_nodes=run.n_nodes,
+        label=run.run_id,
     )
+    report = session.solve(request, with_reference=True)
 
-    ref_norm = float(np.linalg.norm(x_ref))
-    solution_error = (
-        float(np.linalg.norm(result.x - x_ref)) / ref_norm if ref_norm else 0.0
-    )
     return CampaignRunRecord(
         run_id=run.run_id,
         problem=run.problem,
@@ -125,20 +95,21 @@ def run_one(run: RunSpec) -> CampaignRunRecord:
         scenario_params=dict(run.scenario.params),
         repetition=run.repetition,
         seed=run.seed,
-        converged=result.converged,
-        iterations=result.iterations,
-        executed_iterations=result.executed_iterations,
-        relative_residual=result.relative_residual,
-        modeled_time=result.modeled_time,
-        recovery_time=result.recovery_time,
-        wall_time=result.wall_time,
-        reference_time=t0,
-        reference_iterations=C,
-        total_overhead=(result.modeled_time - t0) / t0,
-        recovery_overhead=result.recovery_time / t0,
-        n_failures=len(schedule),
-        failure_iterations=failure_iterations,
-        solution_error=solution_error,
+        converged=report.converged,
+        iterations=report.iterations,
+        executed_iterations=report.executed_iterations,
+        relative_residual=report.relative_residual,
+        modeled_time=report.modeled_time,
+        recovery_time=report.recovery_time,
+        wall_time=report.wall_time,
+        reference_time=report.reference_time,
+        reference_iterations=report.reference_iterations,
+        total_overhead=report.total_overhead,
+        recovery_overhead=report.recovery_overhead,
+        n_failures=report.n_failures,
+        failure_iterations=report.failure_iterations,
+        solution_error=report.solution_error,
+        stats=dict(report.stats),
     )
 
 

@@ -52,6 +52,11 @@ class CampaignRunRecord:
     n_failures: int
     failure_iterations: tuple[int, ...]
     solution_error: float
+    #: Per-channel communication statistics of the virtual cluster
+    #: (``bytes[spmv_halo]``, ``messages[aspmv_extra]``, ... — see
+    #: :class:`repro.cluster.statistics.ClusterStats`), so
+    #: communication-volume regressions can be swept campaign-style.
+    stats: dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def wasted_iterations(self) -> int:
@@ -75,6 +80,8 @@ class CampaignRunRecord:
         payload["failure_iterations"] = tuple(
             int(i) for i in payload.get("failure_iterations") or ()
         )
+        # Records written before the stats column existed load as {}.
+        payload["stats"] = dict(payload.get("stats") or {})
         return cls(**payload)
 
 
@@ -100,6 +107,7 @@ _CSV_CONVERTERS: dict[str, Any] = {
     "converged": lambda raw: raw in ("True", "true", "1"),
     "scenario_params": json.loads,
     "failure_iterations": lambda raw: tuple(int(i) for i in raw.split(";") if i),
+    "stats": lambda raw: json.loads(raw) if raw else {},
 }
 
 
@@ -158,6 +166,7 @@ class CampaignResult:
                 row["failure_iterations"] = ";".join(
                     str(i) for i in record.failure_iterations
                 )
+                row["stats"] = json.dumps(record.stats, sort_keys=True)
                 writer.writerow(row)
         return path
 
@@ -216,6 +225,144 @@ class CampaignResult:
                 }
             )
         return rows
+
+    def communication_rows(self, problem: str | None = None) -> list[dict[str, Any]]:
+        """Median per-channel traffic per (strategy, T, scenario, ϕ) cell.
+
+        One row per cell and channel, with median byte and message
+        counts over the repetitions — the sweepable form of the
+        :class:`~repro.cluster.statistics.ClusterStats` channels
+        (``spmv_halo``, ``aspmv_extra``, ``checkpoint``, ...).
+        """
+        groups: dict[tuple, list[CampaignRunRecord]] = {}
+        for record in self.records:
+            if problem is not None and record.problem != problem:
+                continue
+            if not record.stats:
+                continue
+            key = (record.strategy, record.T, record.scenario_label, record.phi)
+            groups.setdefault(key, []).append(record)
+        rows = []
+        for (strategy, T, scenario, phi), cell in sorted(groups.items()):
+            channels = sorted(
+                {
+                    key[len("bytes["):-1]
+                    for record in cell
+                    for key in record.stats
+                    if key.startswith("bytes[")
+                }
+            )
+            for channel in channels:
+                rows.append(
+                    {
+                        "strategy": strategy,
+                        "T": T,
+                        "scenario": scenario,
+                        "phi": phi,
+                        "channel": channel,
+                        "runs": len(cell),
+                        "bytes": median(
+                            [r.stats.get(f"bytes[{channel}]", 0.0) for r in cell]
+                        ),
+                        "messages": median(
+                            [r.stats.get(f"messages[{channel}]", 0.0) for r in cell]
+                        ),
+                    }
+                )
+        return rows
+
+    # -------------------------------------------------------------- comparison
+
+    def compare(
+        self, baseline: "CampaignResult", problem: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Per-cell overhead deltas of ``self`` against a ``baseline``.
+
+        The A/B view for two stored campaign result files (two code
+        revisions, two machine models): cells are matched on
+        (strategy, T, scenario, ϕ); each row carries both medians and
+        their difference in percentage points (``None`` where a cell
+        exists on only one side).
+        """
+        ours = {
+            (r["strategy"], r["T"], r["scenario"], r["phi"]): r
+            for r in self.overhead_rows(problem)
+        }
+        theirs = {
+            (r["strategy"], r["T"], r["scenario"], r["phi"]): r
+            for r in baseline.overhead_rows(problem)
+        }
+        rows: list[dict[str, Any]] = []
+        for key in sorted(set(ours) | set(theirs)):
+            strategy, T, scenario, phi = key
+            a, b = ours.get(key), theirs.get(key)
+
+            def _delta(field: str):
+                if a is None or b is None:
+                    return None
+                return a[field] - b[field]
+
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "T": T,
+                    "scenario": scenario,
+                    "phi": phi,
+                    "runs": a["runs"] if a else 0,
+                    "baseline_runs": b["runs"] if b else 0,
+                    "total_overhead": a["total_overhead"] if a else None,
+                    "baseline_total_overhead": b["total_overhead"] if b else None,
+                    "delta_total_overhead": _delta("total_overhead"),
+                    "recovery_overhead": a["recovery_overhead"] if a else None,
+                    "baseline_recovery_overhead": (
+                        b["recovery_overhead"] if b else None
+                    ),
+                    "delta_recovery_overhead": _delta("recovery_overhead"),
+                }
+            )
+        return rows
+
+    def render_comparison(self, baseline: "CampaignResult") -> str:
+        """A/B text report: per-cell overhead deltas against ``baseline``."""
+        if not self.records and not baseline.records:
+            raise ConfigurationError("both campaigns are empty; nothing to compare")
+        lines = [
+            f"campaign {self.name!r} ({len(self.records)} runs) vs. "
+            f"baseline {baseline.name!r} ({len(baseline.records)} runs)"
+        ]
+        problems = tuple(sorted(set(self.problems()) | set(baseline.problems())))
+        for problem in problems:
+            rows = self.compare(baseline, problem=problem)
+            if not rows:
+                continue
+            lines.append("")
+            lines.append(f"problem {problem}")
+            header = (
+                f"{'Strategy':9s} {'T':>4s} | {'Scenario':34s} | {'phi':>3s} | "
+                f"{'total%':>8s} {'base%':>8s} {'Δpp':>7s} | "
+                f"{'recov%':>8s} {'base%':>8s} {'Δpp':>7s}"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+
+            def cell(value, scale=100.0, width=8):
+                return f"{scale * value:{width}.2f}" if value is not None else " " * (width - 1) + "-"
+
+            for row in rows:
+                lines.append(
+                    f"{row['strategy']:9s} {row['T']:>4d} | {row['scenario']:34s} | "
+                    f"{row['phi']:>3d} | "
+                    f"{cell(row['total_overhead'])} "
+                    f"{cell(row['baseline_total_overhead'])} "
+                    f"{cell(row['delta_total_overhead'], width=7)} | "
+                    f"{cell(row['recovery_overhead'])} "
+                    f"{cell(row['baseline_recovery_overhead'])} "
+                    f"{cell(row['delta_recovery_overhead'], width=7)}"
+                )
+        if len(lines) == 1:
+            lines.append("")
+            lines.append("no overlapping or comparable cells found")
+        return "\n".join(lines)
 
     # -------------------------------------------------------------- rendering
 

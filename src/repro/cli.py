@@ -14,7 +14,8 @@ Commands
     expands a declarative spec (built-in demo sweep, or a JSON file via
     ``--spec``) and executes it on a process pool; ``campaign report``
     re-renders the Table-2-style overhead comparison from stored
-    results and can export them to CSV.
+    results, renders per-cell A/B overhead deltas against a second
+    result file via ``--baseline``, and can export records to CSV.
 ``info``
     List available problems, strategies and preconditioners.
 
@@ -25,6 +26,7 @@ Examples::
     python -m repro experiment --problem emilia_923_like --quick
     python -m repro campaign run --workers 4 --out campaign.json
     python -m repro campaign report --results campaign.json --csv campaign.csv
+    python -m repro campaign report --results new.json --baseline old.json
     python -m repro info
 
 Development: the tier-1 test suite is ``python -m pytest -x -q`` from
@@ -39,8 +41,9 @@ from typing import Sequence
 
 import numpy as np
 
-from . import FailureEvent, __version__, solve
-from .core.strategies import STRATEGY_NAMES
+from . import FailureEvent, __version__
+from .api import SolveRequest, SolverSession
+from .core.strategies import STRATEGY_NAMES, available_strategies
 from .events import EventKind
 from .exceptions import ConfigurationError, ReproError
 from .matrices import available_problems, available_scales, read_matrix_market, suite
@@ -130,6 +133,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report_cmd.add_argument("--results", required=True, metavar="FILE",
                            help="JSON file written by 'campaign run'")
+    report_cmd.add_argument("--baseline", default=None, metavar="FILE",
+                           help="second result file: render per-cell A/B "
+                           "overhead deltas (results minus baseline) instead "
+                           "of the plain summary")
     report_cmd.add_argument("--csv", default=None, metavar="FILE",
                            help="additionally export the raw records to CSV")
 
@@ -148,10 +155,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         label = f"{meta.name} (scale={meta.scale}, n={meta.n}, nnz={meta.nnz})"
 
     failures = [_parse_failure(spec) for spec in args.fail]
-    result = solve(
-        matrix,
-        b,
-        n_nodes=args.nodes,
+    # Declarative request against a one-shot session; the request
+    # validates every input eagerly before any setup work happens.
+    request = SolveRequest(
         strategy=args.strategy,
         T=args.interval,
         phi=args.phi,
@@ -159,7 +165,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         rtol=args.rtol,
         failures=failures,
         seed=args.seed,
+        n_nodes=args.nodes,
     )
+    session = SolverSession(matrix, b, n_nodes=args.nodes, seed=args.seed)
+    result = session.solve(request).result
     print(f"problem:            {label}")
     print(f"strategy:           {result.strategy} (T={args.interval}, phi={args.phi})")
     print(f"converged:          {result.converged}")
@@ -210,7 +219,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.campaign_command == "report":
         result = CampaignResult.from_json(args.results)
-        print(result.render_summary())
+        if args.baseline:
+            baseline = CampaignResult.from_json(args.baseline)
+            print(result.render_comparison(baseline))
+        else:
+            print(result.render_summary())
         if args.csv:
             path = result.to_csv(args.csv)
             print(f"\nwrote {len(result)} records to {path}")
@@ -256,7 +269,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__} — ICPP 2020 ESRP reproduction")
     print(f"problems:         {', '.join(available_problems())}")
     print(f"scales:           {', '.join(available_scales())}")
-    print(f"strategies:       {', '.join(STRATEGY_NAMES)}")
+    print(f"strategies:       {', '.join(available_strategies())}")
     print(f"preconditioners:  {', '.join(available_preconditioners())}")
     return 0
 

@@ -99,6 +99,23 @@ class VirtualCluster:
         """Zero the traffic statistics (clocks are left untouched)."""
         self.stats = ClusterStats(self.n_nodes)
 
+    def reset(self, seed: int | None = None) -> None:
+        """Return the cluster to its pristine t = 0 state.
+
+        Fresh nodes (all alive, empty memory), zeroed clocks, fresh
+        statistics, no registered vectors — indistinguishable from a
+        newly constructed cluster, so a :class:`~repro.api.SolverSession`
+        can reuse one cluster (and everything bound to it, like the
+        distributed matrix) across many independent solves.  ``seed``
+        restarts the noise RNG; ``None`` keeps the current stream.
+        """
+        if seed is not None:
+            self.rng = np.random.default_rng(seed)
+        self.nodes = [NodeState(rank) for rank in range(self.n_nodes)]
+        self.clocks = np.zeros(self.n_nodes, dtype=np.float64)
+        self.stats = ClusterStats(self.n_nodes)
+        self._registered_vectors = []
+
     # --------------------------------------------------------------- accounting
 
     def _charge(self, seconds: float) -> float:

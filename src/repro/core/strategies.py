@@ -1,14 +1,16 @@
-"""Strategy registry and factory.
+"""Strategy registrations and factory.
 
-Central place that maps configuration names to resilience strategies,
-including the paper's prescription that ESRP with T ∈ {1, 2} *is* ESR
-(§3: "For T = 2 it no longer makes sense... for T = 1 ... this
-corresponds to regular ESR").
+The built-in resilience strategies are ordinary registrations in the
+pluggable strategy registry (:data:`repro.api.registry.STRATEGIES`);
+third-party strategies join via ``@register_strategy``.  The paper's
+prescription that ESRP with T ∈ {1, 2} *is* ESR (§3: "For T = 2 it no
+longer makes sense... for T = 1 ... this corresponds to regular ESR")
+lives in the ``esrp`` builder.
 """
 
 from __future__ import annotations
 
-from ..exceptions import ConfigurationError
+from ..api.registry import STRATEGIES, register_strategy
 from ..solvers.engine import NoResilience, ResilienceStrategy
 from .baselines import (
     FullRestartStrategy,
@@ -19,7 +21,9 @@ from .esr import ESRStrategy
 from .esrp import ESRPStrategy
 from .imcr import IMCRStrategy
 
-#: Canonical strategy names (aliases resolved by :func:`make_strategy`).
+#: Canonical built-in strategy names (kept for backward compatibility;
+#: the authoritative list — including plugins — is
+#: :func:`available_strategies`).
 STRATEGY_NAMES = (
     "reference",
     "esr",
@@ -30,15 +34,50 @@ STRATEGY_NAMES = (
     "least_squares",
 )
 
-_ALIASES = {
-    "none": "reference",
-    "pcg": "reference",
-    "cr": "imcr",
-    "checkpoint": "imcr",
-    "lininterp": "linear_interpolation",
-    "li": "linear_interpolation",
-    "lsq": "least_squares",
-}
+
+def available_strategies() -> tuple[str, ...]:
+    """Names accepted by :func:`make_strategy` (built-ins + plugins)."""
+    return STRATEGIES.names()
+
+
+@register_strategy("reference", aliases=("none", "pcg"))
+def _build_reference(**_) -> ResilienceStrategy:
+    return NoResilience()
+
+
+@register_strategy("esr")
+def _build_esr(phi: int = 1, rule: str = "paper", destinations: str = "eq1", **_):
+    return ESRStrategy(phi=phi, rule=rule, destinations=destinations)
+
+
+@register_strategy("esrp")
+def _build_esrp(
+    T: int = 1, phi: int = 1, rule: str = "paper", destinations: str = "eq1", **_
+):
+    if T <= 2:
+        # The paper's degenerate cases: ESRP with T in {1,2} is ESR.
+        return ESRStrategy(phi=phi, rule=rule, destinations=destinations)
+    return ESRPStrategy(T=T, phi=phi, rule=rule, destinations=destinations)
+
+
+@register_strategy("imcr", aliases=("cr", "checkpoint"))
+def _build_imcr(T: int = 1, phi: int = 1, **_) -> ResilienceStrategy:
+    return IMCRStrategy(T=max(T, 1), phi=phi)
+
+
+@register_strategy("full_restart")
+def _build_full_restart(**_) -> ResilienceStrategy:
+    return FullRestartStrategy()
+
+
+@register_strategy("linear_interpolation", aliases=("lininterp", "li"))
+def _build_linear_interpolation(**_) -> ResilienceStrategy:
+    return LinearInterpolationRecovery()
+
+
+@register_strategy("least_squares", aliases=("lsq",))
+def _build_least_squares(**_) -> ResilienceStrategy:
+    return LeastSquaresRecovery()
 
 
 def make_strategy(
@@ -48,12 +87,13 @@ def make_strategy(
     rule: str = "paper",
     destinations: str = "eq1",
 ) -> ResilienceStrategy:
-    """Instantiate a resilience strategy by name.
+    """Instantiate a resilience strategy by registered name.
 
     Parameters
     ----------
     name:
-        One of :data:`STRATEGY_NAMES` (or an alias).
+        A name (or alias) registered in the strategy registry; the
+        built-ins are :data:`STRATEGY_NAMES`.
     T:
         Checkpoint/storage interval (ESRP and IMCR).
     phi:
@@ -66,25 +106,6 @@ def make_strategy(
         (the paper's nearest neighbours) or ``"switch_aware"`` (prefer
         other fat-tree leaves — survives whole-switch faults).
     """
-    key = name.lower().replace("-", "_")
-    key = _ALIASES.get(key, key)
-    if key == "reference":
-        return NoResilience()
-    if key == "esr":
-        return ESRStrategy(phi=phi, rule=rule, destinations=destinations)
-    if key == "esrp":
-        if T <= 2:
-            # The paper's degenerate cases: ESRP with T in {1,2} is ESR.
-            return ESRStrategy(phi=phi, rule=rule, destinations=destinations)
-        return ESRPStrategy(T=T, phi=phi, rule=rule, destinations=destinations)
-    if key == "imcr":
-        return IMCRStrategy(T=max(T, 1), phi=phi)
-    if key == "full_restart":
-        return FullRestartStrategy()
-    if key == "linear_interpolation":
-        return LinearInterpolationRecovery()
-    if key == "least_squares":
-        return LeastSquaresRecovery()
-    raise ConfigurationError(
-        f"unknown strategy {name!r}; available: {', '.join(STRATEGY_NAMES)}"
+    return STRATEGIES.create(
+        name, T=T, phi=phi, rule=rule, destinations=destinations
     )

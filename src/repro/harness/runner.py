@@ -13,20 +13,13 @@ For each cell of the test constellation (strategy × T × ϕ × location):
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable
 
-import numpy as np
-
-from ..cluster.communicator import VirtualCluster
-from ..cluster.failures import FailureEvent, FailureSchedule, block_failure_ranks
-from ..distribution.matrix import DistributedMatrix
-from ..distribution.partition import BlockRowPartition
-from ..core.strategies import make_strategy
+from ..api.request import SolveRequest
+from ..api.session import SolverSession
+from ..cluster.failures import FailureEvent, block_failure_ranks
 from ..exceptions import ConfigurationError
 from ..matrices import suite
-from ..preconditioners import make_preconditioner
-from ..solvers.engine import PCGEngine, SolveOptions, SolveResult
-from ..solvers.reference import solve_reference
+from ..solvers.engine import SolveResult
 from .calibration import BENCH_COST_MODEL
 from .config import ExperimentConfig
 from .metrics import drift_from_result, median, relative_overhead
@@ -113,36 +106,43 @@ class ExperimentRunner:
             config.problem, scale=config.scale, seed=config.seed
         )
         self.n = self.matrix_csr.shape[0]
+        #: One session serves the whole grid: the cluster, partition,
+        #: distributed matrix and factorised preconditioner are set up
+        #: once and reused by every cell/repetition.
+        self.session = SolverSession(
+            self.matrix_csr,
+            self.b,
+            n_nodes=config.n_nodes,
+            cost_model=self.cost_model,
+            seed=config.seed,
+            meta=self.meta,
+        )
         self._reference_times: list[float] = []
         self._reference_iterations: int | None = None
         self.records: list[RunRecord] = []
 
     # ------------------------------------------------------------ single runs
 
-    def _make_engine(
+    def _run(
         self,
         strategy_name: str,
         T: int,
         phi: int,
         repetition: int,
-        failures: FailureSchedule | None,
-    ) -> PCGEngine:
-        cluster = VirtualCluster(
-            self.config.n_nodes,
-            cost_model=self.cost_model,
+        failures=(),
+    ) -> SolveResult:
+        """One solver run against the shared session (seeded per rep)."""
+        request = SolveRequest(
+            strategy=strategy_name,
+            T=T,
+            phi=phi,
+            preconditioner=self.config.preconditioner,
+            rtol=self.config.rtol,
+            failures=failures,
+            rule=self.config.aspmv_rule,
             seed=self.config.seed + 7919 * repetition,
         )
-        partition = BlockRowPartition.uniform(self.n, self.config.n_nodes)
-        matrix = DistributedMatrix(cluster, partition, self.matrix_csr)
-        strategy = make_strategy(strategy_name, T=T, phi=phi, rule=self.config.aspmv_rule)
-        return PCGEngine(
-            matrix=matrix,
-            b=self.b,
-            preconditioner=make_preconditioner(self.config.preconditioner),
-            strategy=strategy,
-            options=SolveOptions(rtol=self.config.rtol),
-            failures=failures,
-        )
+        return self.session.solve(request).result
 
     def _record(
         self,
@@ -181,8 +181,7 @@ class ExperimentRunner:
         if self._reference_times:
             return median(self._reference_times), int(self._reference_iterations or 0)
         for rep in range(self.config.repetitions):
-            engine = self._make_engine("reference", T=1, phi=1, repetition=rep, failures=None)
-            result = engine.solve()
+            result = self._run("reference", T=1, phi=1, repetition=rep)
             self._reference_times.append(result.modeled_time)
             self._reference_iterations = result.iterations
             self._record(result, "reference", 0, 0, 0, None, rep)
@@ -215,15 +214,14 @@ class ExperimentRunner:
         recoveries: list[float] = []
         for rep in range(self.config.repetitions):
             if location is None:
-                failures = None
+                failures = ()
                 psi = 0
             else:
                 iteration = place_worst_case_failure(strategy, T, C)
                 ranks = block_failure_ranks(location, phi, self.config.n_nodes)
-                failures = FailureSchedule([FailureEvent(iteration, ranks)])
+                failures = (FailureEvent(iteration, ranks),)
                 psi = phi
-            engine = self._make_engine(strategy, T, phi, rep, failures)
-            result = engine.solve()
+            result = self._run(strategy, T, phi, rep, failures=failures)
             self._record(result, strategy, T, phi, psi, location, rep)
             runtimes.append(result.modeled_time)
             recoveries.append(result.recovery_time)

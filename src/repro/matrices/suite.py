@@ -38,11 +38,11 @@ from __future__ import annotations
 import dataclasses
 import os
 import pathlib
-from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
 
+from ..api.registry import MATRICES, register_matrix
 from ..exceptions import ConfigurationError
 from .elasticity import DOFS_PER_POINT, coupling_block
 from .io_mm import read_matrix_market
@@ -125,6 +125,7 @@ def _smooth_solution(n: int, seed: int) -> np.ndarray:
     return x + 0.1 * rng.standard_normal(n)
 
 
+@register_matrix("emilia_923_like", aliases=("emilia",))
 def _emilia_like(scale: str, seed: int) -> tuple[sp.csr_matrix, tuple[int, int, int], int]:
     long_axis, width = _SCALE_GRIDS["emilia_923_like"][scale]
     grid = (width, width, long_axis)  # (nx, ny, nz): long axis slowest
@@ -139,6 +140,7 @@ def _emilia_like(scale: str, seed: int) -> tuple[sp.csr_matrix, tuple[int, int, 
     return matrix, grid, 1
 
 
+@register_matrix("audikw_1_like", aliases=("audikw",))
 def _audikw_like(scale: str, seed: int) -> tuple[sp.csr_matrix, tuple[int, int, int], int]:
     long_axis, width = _SCALE_GRIDS["audikw_1_like"][scale]
     grid = (width, width, long_axis)
@@ -168,15 +170,9 @@ def _widen_stencil(matrix: sp.csr_matrix, grid: tuple[int, int, int]) -> sp.csr_
     return (matrix + epsilon * poisson_3d_27pt(*grid)).tocsr()
 
 
-_GENERATORS: dict[str, Callable[[str, int], tuple[sp.csr_matrix, tuple[int, int, int], int]]] = {
-    "emilia_923_like": _emilia_like,
-    "audikw_1_like": _audikw_like,
-}
-
-
 def available_problems() -> tuple[str, ...]:
-    """Names accepted by :func:`load`."""
-    return tuple(sorted(_GENERATORS))
+    """Names accepted by :func:`load` (built-ins + registered plugins)."""
+    return MATRICES.names()
 
 
 def available_scales() -> tuple[str, ...]:
@@ -187,7 +183,7 @@ def available_scales() -> tuple[str, ...]:
 def _try_real_matrix(name: str) -> sp.csr_matrix | None:
     """Load the genuine SuiteSparse matrix if the user provides it."""
     directory = os.environ.get("REPRO_MATRIX_DIR")
-    if not directory:
+    if not directory or name not in PAPER_REFERENCE:
         return None
     paper_name = PAPER_REFERENCE[name]["paper_matrix"]
     path = pathlib.Path(directory) / f"{paper_name}.mtx"
@@ -206,10 +202,12 @@ def load(
     Parameters
     ----------
     name:
-        One of :func:`available_problems`.
+        One of :func:`available_problems` — a built-in or any problem
+        registered via :func:`repro.api.register_matrix`.
     scale:
         Size tier (``tiny``/``small``/``bench``/``large``); ignored when
-        the genuine matrix is found via ``REPRO_MATRIX_DIR``.
+        the genuine matrix is found via ``REPRO_MATRIX_DIR``.  Plugin
+        problems interpret the scale string themselves.
     seed:
         Seed for the layered scaling and the exact solution.
 
@@ -217,11 +215,8 @@ def load(
     -------
     ``(A, b, meta)`` with ``A`` in CSR format and ``b = A @ x_exact``.
     """
-    if name not in _GENERATORS:
-        raise ConfigurationError(
-            f"unknown problem {name!r}; available: {', '.join(available_problems())}"
-        )
-    if scale not in _SCALE_GRIDS[name]:
+    name = MATRICES.resolve(name)  # ConfigurationError on unknown problems
+    if name in _SCALE_GRIDS and scale not in _SCALE_GRIDS[name]:
         raise ConfigurationError(
             f"unknown scale {scale!r}; available: {', '.join(available_scales())}"
         )
@@ -234,7 +229,12 @@ def load(
         source = "suitesparse"
         scale = "native"
     else:
-        matrix, grid, dofs = _GENERATORS[name](scale, seed)
+        generated = MATRICES.create(name, scale, seed)
+        if isinstance(generated, tuple):
+            matrix, grid, dofs = generated
+        else:  # plugin generators may return just the matrix
+            matrix, grid, dofs = sp.csr_matrix(generated), (0, 0, 0), 1
+        matrix = sp.csr_matrix(matrix)
         source = "synthetic-stand-in"
 
     x_exact = _smooth_solution(matrix.shape[0], seed + 1)
@@ -250,6 +250,6 @@ def load(
         grid=grid,
         dofs_per_point=dofs,
         source=source,
-        paper=dict(PAPER_REFERENCE[name]),
+        paper=dict(PAPER_REFERENCE.get(name, {})),
     )
     return matrix, b, meta

@@ -4,11 +4,15 @@ The paper uses node-aligned block Jacobi with block size ≤ 10; the
 other operators support the preconditioner ablation the paper lists as
 future work, including one (polynomial/Neumann) that is deliberately
 *not* reconstruction-compatible.
+
+The built-in operators are ordinary registrations in the pluggable
+preconditioner registry (:data:`repro.api.registry.PRECONDITIONERS`);
+third-party operators join via ``@register_preconditioner``.
 """
 
 from __future__ import annotations
 
-from ..exceptions import ConfigurationError
+from ..api.registry import PRECONDITIONERS
 from .base import BlockDiagonalPreconditioner, Preconditioner
 from .block_jacobi import BlockJacobiPreconditioner, split_into_blocks
 from .ichol import BlockICholPreconditioner, ic0_factor
@@ -17,31 +21,22 @@ from .jacobi import JacobiPreconditioner
 from .polynomial import PRECOND_HALO_CHANNEL, PolynomialPreconditioner
 from .ssor import BlockSSORPreconditioner
 
-_FACTORY = {
-    "identity": IdentityPreconditioner,
-    "jacobi": JacobiPreconditioner,
-    "block_jacobi": BlockJacobiPreconditioner,
-    "block_ssor": BlockSSORPreconditioner,
-    "block_ichol": BlockICholPreconditioner,
-    "polynomial": PolynomialPreconditioner,
-}
+PRECONDITIONERS.register("identity", IdentityPreconditioner)
+PRECONDITIONERS.register("jacobi", JacobiPreconditioner, aliases=("diagonal",))
+PRECONDITIONERS.register("block_jacobi", BlockJacobiPreconditioner, aliases=("bj",))
+PRECONDITIONERS.register("block_ssor", BlockSSORPreconditioner)
+PRECONDITIONERS.register("block_ichol", BlockICholPreconditioner, aliases=("ic0",))
+PRECONDITIONERS.register("polynomial", PolynomialPreconditioner, aliases=("neumann",))
 
 
 def available_preconditioners() -> tuple[str, ...]:
-    """Names accepted by :func:`make_preconditioner`."""
-    return tuple(sorted(_FACTORY))
+    """Names accepted by :func:`make_preconditioner` (built-ins + plugins)."""
+    return PRECONDITIONERS.names()
 
 
 def make_preconditioner(name: str, **kwargs) -> Preconditioner:
     """Instantiate a preconditioner by name (kwargs go to its constructor)."""
-    try:
-        factory = _FACTORY[name.lower()]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown preconditioner {name!r}; available: "
-            f"{', '.join(available_preconditioners())}"
-        ) from None
-    return factory(**kwargs)
+    return PRECONDITIONERS.create(name, **kwargs)
 
 
 __all__ = [

@@ -42,7 +42,15 @@ class Preconditioner(abc.ABC):
     # ------------------------------------------------------------------ set-up
 
     def setup(self, matrix: DistributedMatrix) -> None:
-        """Bind to a matrix and precompute factorisations."""
+        """Bind to a matrix and precompute factorisations.
+
+        Re-binding to the *same* matrix object is a no-op, so a cached,
+        already-factorised preconditioner can be handed to many engines
+        (a :class:`~repro.api.SolverSession` does exactly that) without
+        paying the factorisation again.
+        """
+        if self._matrix is matrix:
+            return
         self._matrix = matrix
         self._setup_impl(matrix)
 

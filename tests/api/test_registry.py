@@ -1,0 +1,170 @@
+"""Registry semantics: duplicates, aliases, third-party plugins."""
+
+import pytest
+
+from repro.api.registry import (
+    MATRICES,
+    PRECONDITIONERS,
+    STRATEGIES,
+    Registry,
+    register_matrix,
+    register_preconditioner,
+    register_strategy,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistryBasics:
+    def test_register_and_create(self):
+        registry = Registry("widget")
+        registry.register("simple", lambda scale=1: ("simple", scale))
+        assert registry.create("simple", scale=3) == ("simple", 3)
+        assert registry.names() == ("simple",)
+        assert "simple" in registry
+
+    def test_decorator_form_returns_builder(self):
+        registry = Registry("widget")
+
+        @registry.register("deco")
+        def build():
+            return "built"
+
+        assert build() == "built"  # decorator hands the function back
+        assert registry.create("deco") == "built"
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("taken", lambda: 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("taken", lambda: 2)
+        # the original registration survives the failed attempt
+        assert registry.create("taken") == 1
+
+    def test_duplicate_alias_rejected(self):
+        registry = Registry("widget")
+        registry.register("first", lambda: 1, aliases=("f",))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("second", lambda: 2, aliases=("f",))
+
+    def test_overwrite_replaces(self):
+        registry = Registry("widget")
+        registry.register("thing", lambda: 1)
+        registry.register("thing", lambda: 2, overwrite=True)
+        assert registry.create("thing") == 2
+
+    def test_unknown_name_lists_available(self):
+        registry = Registry("widget")
+        registry.register("only", lambda: 1)
+        with pytest.raises(ConfigurationError, match="unknown widget 'nope'.*only"):
+            registry.resolve("nope")
+
+    def test_alias_resolution_and_normalisation(self):
+        registry = Registry("widget")
+        registry.register("block_jacobi_like", lambda: 1, aliases=("bjl",))
+        assert registry.resolve("bjl") == "block_jacobi_like"
+        assert registry.resolve("Block-Jacobi-Like") == "block_jacobi_like"
+        assert registry.names() == ("block_jacobi_like",)  # aliases not listed
+        assert registry.aliases() == {"bjl": "block_jacobi_like"}
+
+    def test_unregister_drops_aliases(self):
+        registry = Registry("widget")
+        registry.register("gone", lambda: 1, aliases=("g",))
+        registry.unregister("gone")
+        assert "gone" not in registry
+        assert "g" not in registry
+
+
+class TestBuiltinRegistrations:
+    def test_builtin_strategies_present(self):
+        for name in ("reference", "esr", "esrp", "imcr", "full_restart",
+                     "linear_interpolation", "least_squares"):
+            assert name in STRATEGIES
+
+    def test_builtin_strategy_aliases(self):
+        assert STRATEGIES.resolve("none") == "reference"
+        assert STRATEGIES.resolve("cr") == "imcr"
+        assert STRATEGIES.resolve("li") == "linear_interpolation"
+        assert STRATEGIES.resolve("lsq") == "least_squares"
+
+    def test_builtin_preconditioners_present(self):
+        for name in ("identity", "jacobi", "block_jacobi", "block_ssor",
+                     "block_ichol", "polynomial"):
+            assert name in PRECONDITIONERS
+        assert PRECONDITIONERS.resolve("bj") == "block_jacobi"
+
+    def test_builtin_matrices_present(self):
+        assert MATRICES.resolve("emilia") == "emilia_923_like"
+        assert MATRICES.resolve("audikw") == "audikw_1_like"
+
+    def test_esrp_degenerates_to_esr_for_small_T(self):
+        from repro.core import make_strategy
+
+        assert make_strategy("esrp", T=2, phi=1).name == "esr"
+        assert make_strategy("esrp", T=3, phi=1).name == "esrp"
+
+    def test_make_strategy_unknown_name(self):
+        from repro.core import make_strategy
+
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            make_strategy("definitely_not_registered")
+
+
+class TestThirdPartyRegistration:
+    def test_strategy_plugin_round_trips_through_request_json(self):
+        from repro.api import SolveRequest
+        from repro.core.esr import ESRStrategy
+
+        @register_strategy("plugin_esr", aliases=("pesr",))
+        def build(phi=1, rule="paper", destinations="eq1", **_):
+            return ESRStrategy(phi=phi, rule=rule, destinations=destinations)
+
+        try:
+            request = SolveRequest(strategy="pesr", phi=2)
+            assert request.strategy == "plugin_esr"  # alias canonicalised
+            restored = SolveRequest.from_json(request.to_json())
+            assert restored == request
+            from repro.core import make_strategy
+
+            assert make_strategy(restored.strategy, phi=2).name == "esr"
+        finally:
+            STRATEGIES.unregister("plugin_esr")
+
+    def test_preconditioner_plugin_usable_in_solve(self, poisson_matrix):
+        import numpy as np
+
+        import repro
+        from repro.preconditioners import IdentityPreconditioner
+
+        @register_preconditioner("plugin_identity")
+        def build(**kwargs):
+            return IdentityPreconditioner(**kwargs)
+
+        try:
+            b = np.ones(poisson_matrix.shape[0])
+            result = repro.solve(
+                poisson_matrix, b, n_nodes=4, strategy="esr",
+                preconditioner="plugin_identity",
+            )
+            assert result.converged
+        finally:
+            PRECONDITIONERS.unregister("plugin_identity")
+
+    def test_matrix_plugin_loadable_by_name(self):
+        import scipy.sparse as sp
+
+        from repro.matrices import suite
+
+        @register_matrix("plugin_laplacian")
+        def build(scale, seed):
+            n = {"tiny": 16, "small": 64}.get(scale, 32)
+            return sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n)).tocsr()
+
+        try:
+            matrix, b, meta = suite.load("plugin_laplacian", scale="tiny")
+            assert matrix.shape == (16, 16)
+            assert b.shape == (16,)
+            assert meta.name == "plugin_laplacian"
+            assert meta.paper == {}  # no paper reference for plugins
+            assert "plugin_laplacian" in suite.available_problems()
+        finally:
+            MATRICES.unregister("plugin_laplacian")

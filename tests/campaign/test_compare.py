@@ -1,0 +1,154 @@
+"""A/B campaign comparison and per-channel statistics in records."""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    ScenarioSpec,
+    StrategySpec,
+    execute_campaign,
+)
+from repro.cli import main
+from repro.exceptions import ConfigurationError
+
+pytestmark = pytest.mark.campaign
+
+
+@pytest.fixture(scope="module")
+def ab_results() -> tuple[CampaignResult, CampaignResult]:
+    spec = CampaignSpec(
+        name="ab-unit",
+        problems=(("emilia_923_like", "tiny"),),
+        n_nodes=4,
+        strategies=(StrategySpec("esr"), StrategySpec("imcr", (10,))),
+        phis=(1,),
+        scenarios=(
+            ScenarioSpec.make("failure_free"),
+            ScenarioSpec.make("worst_case", location="start"),
+        ),
+        repetitions=1,
+    )
+    current = execute_campaign(spec, workers=0)
+    # the "baseline" revision: same constellation, different seed, and
+    # one cell (imcr) missing entirely
+    baseline_spec = dataclasses.replace(
+        spec, name="ab-baseline", seed=2021, strategies=(StrategySpec("esr"),)
+    )
+    baseline = execute_campaign(baseline_spec, workers=0)
+    return current, baseline
+
+
+class TestChannelStats:
+    def test_records_carry_channel_stats(self, ab_results):
+        current, _ = ab_results
+        for record in current:
+            assert record.stats, f"record {record.run_id} has no stats"
+            assert record.stats["bytes[spmv_halo]"] > 0
+            assert "messages[spmv_halo]" in record.stats
+
+    def test_esr_records_show_aspmv_traffic(self, ab_results):
+        current, _ = ab_results
+        esr = [r for r in current if r.strategy == "esr"]
+        assert esr
+        for record in esr:
+            assert record.stats.get("bytes[aspmv_extra]", 0) > 0
+
+    def test_communication_rows_aggregate_channels(self, ab_results):
+        current, _ = ab_results
+        rows = current.communication_rows()
+        assert rows
+        channels = {row["channel"] for row in rows}
+        assert "spmv_halo" in channels
+        for row in rows:
+            assert row["bytes"] >= 0
+            assert row["runs"] >= 1
+
+    def test_stats_survive_json_and_csv_round_trips(self, ab_results, tmp_path):
+        current, _ = ab_results
+        json_path = current.to_json(tmp_path / "r.json")
+        loaded = CampaignResult.from_json(json_path)
+        assert [r.stats for r in loaded] == [r.stats for r in current]
+        csv_path = current.to_csv(tmp_path / "r.csv")
+        loaded_csv = CampaignResult.from_csv(csv_path)
+        assert [r.stats for r in loaded_csv] == [r.stats for r in current]
+
+    def test_pre_stats_records_load_as_empty(self, ab_results, tmp_path):
+        """Result files written before the stats column must still load."""
+        import json
+
+        current, _ = ab_results
+        path = current.to_json(tmp_path / "old.json")
+        payload = json.loads(path.read_text())
+        for record in payload["records"]:
+            del record["stats"]
+        path.write_text(json.dumps(payload))
+        loaded = CampaignResult.from_json(path)
+        assert all(record.stats == {} for record in loaded)
+
+
+class TestCompare:
+    def test_matched_cells_have_deltas(self, ab_results):
+        current, baseline = ab_results
+        rows = current.compare(baseline)
+        matched = [r for r in rows if r["strategy"] == "esr"]
+        assert matched
+        for row in matched:
+            assert row["delta_total_overhead"] is not None
+            assert row["delta_total_overhead"] == pytest.approx(
+                row["total_overhead"] - row["baseline_total_overhead"]
+            )
+
+    def test_one_sided_cells_have_none_deltas(self, ab_results):
+        current, baseline = ab_results
+        rows = current.compare(baseline)
+        imcr_only = [r for r in rows if r["strategy"] == "imcr"]
+        assert imcr_only
+        for row in imcr_only:
+            assert row["baseline_runs"] == 0
+            assert row["delta_total_overhead"] is None
+
+    def test_self_comparison_is_zero(self, ab_results):
+        current, _ = ab_results
+        for row in current.compare(current):
+            assert row["delta_total_overhead"] == pytest.approx(0.0)
+            assert row["delta_recovery_overhead"] == pytest.approx(0.0)
+
+    def test_render_comparison_table(self, ab_results):
+        current, baseline = ab_results
+        text = current.render_comparison(baseline)
+        assert "vs. baseline 'ab-baseline'" in text
+        assert "Δpp" in text
+        assert "esr" in text and "imcr" in text
+
+    def test_empty_comparison_rejected(self):
+        empty = CampaignResult(spec={}, records=[])
+        with pytest.raises(ConfigurationError, match="nothing to compare"):
+            empty.render_comparison(empty)
+
+
+class TestCliBaselineReport:
+    def test_report_baseline_flag(self, ab_results, tmp_path, capsys):
+        current, baseline = ab_results
+        current_path = current.to_json(tmp_path / "current.json")
+        baseline_path = baseline.to_json(tmp_path / "baseline.json")
+        code = main([
+            "campaign", "report",
+            "--results", str(current_path),
+            "--baseline", str(baseline_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "vs. baseline" in out
+        assert "Δpp" in out
+
+    def test_report_without_baseline_unchanged(self, ab_results, tmp_path, capsys):
+        current, _ = ab_results
+        path = current.to_json(tmp_path / "current.json")
+        code = main(["campaign", "report", "--results", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Total overhead [%]" in out
+        assert "vs. baseline" not in out
