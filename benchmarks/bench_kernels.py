@@ -1,0 +1,155 @@
+"""Kernel-backend benchmark: ``looped`` vs. ``vectorized`` wall-clock.
+
+Runs the same solve set — the non-resilient reference, a failure-free
+ESRP solve, and an ESRP solve surviving one mid-trajectory failure —
+under both compute-kernel backends across the Poisson size tiers, and
+emits ``BENCH_kernels.json``.  The backends produce bit-identical
+reports (enforced here per cell, and property-tested in
+``tests/properties/test_backend_equivalence.py``), so the wall-clock
+ratio is a pure hot-path measurement.
+
+The headline cell is the **medium** Poisson problem (20³ = 8000
+unknowns) on 32 virtual nodes — the paper's experiments use 128 ranks,
+and the per-rank interpreter overhead the vectorized backend removes
+grows with the rank count.  The acceptance gate (``--check``) requires
+vectorized to be >= 3x faster there.
+
+Usage::
+
+    python benchmarks/bench_kernels.py                 # full sweep
+    python benchmarks/bench_kernels.py --check         # + enforce >= 3x
+    python benchmarks/bench_kernels.py --smoke         # CI smoke (tiny)
+    python benchmarks/bench_kernels.py --out other.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import repro
+from repro.matrices import suite
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: (scale, n_nodes) cells of the full sweep; medium is the gate.
+CELLS = (
+    ("tiny", 8),
+    ("small", 16),
+    ("medium", 32),
+    ("bench", 32),
+)
+HEADLINE_SCALE = "medium"
+SPEEDUP_THRESHOLD = 3.0
+
+
+def _requests(reference_iterations: int) -> list[repro.SolveRequest]:
+    failure_at = max(3, reference_iterations // 2)
+    return [
+        repro.SolveRequest(strategy="reference", T=1, phi=1),
+        repro.SolveRequest(strategy="esrp", T=20, phi=1),
+        repro.SolveRequest(
+            strategy="esrp", T=20, phi=1,
+            failures=[repro.FailureEvent(failure_at, (1,))],
+        ),
+    ]
+
+
+def bench_cell(scale: str, n_nodes: int, repeats: int) -> dict:
+    matrix, b, meta = suite.load("poisson3d", scale=scale)
+    timings: dict[str, float] = {}
+    fingerprints: dict[str, tuple] = {}
+    for backend in ("looped", "vectorized"):
+        session = repro.SolverSession(matrix, b, n_nodes=n_nodes, backend=backend)
+        reference = session.reference()  # shared setup, outside the timing
+        requests = _requests(reference.C)
+        best = float("inf")
+        fingerprint = None
+        for _ in range(repeats):
+            reports = [session.solve(request) for request in requests]
+            best = min(best, sum(report.wall_time for report in reports))
+            fingerprint = tuple(
+                (report.iterations, report.modeled_time) for report in reports
+            )
+        timings[backend] = best
+        fingerprints[backend] = fingerprint
+    if fingerprints["looped"] != fingerprints["vectorized"]:
+        raise AssertionError(
+            f"backend results diverged on {scale}: {fingerprints}"
+        )
+    return {
+        "scale": scale,
+        "n": meta.n,
+        "nnz": meta.nnz,
+        "n_nodes": n_nodes,
+        "iterations": fingerprints["looped"][0][0],
+        "looped_seconds": timings["looped"],
+        "vectorized_seconds": timings["vectorized"],
+        "speedup": timings["looped"] / timings["vectorized"],
+    }
+
+
+def run(cells, repeats: int) -> dict:
+    rows = []
+    for scale, n_nodes in cells:
+        row = bench_cell(scale, n_nodes, repeats)
+        rows.append(row)
+        print(
+            f"poisson3d/{row['scale']:<7s} n={row['n']:>6d} N={row['n_nodes']:>3d}  "
+            f"looped={row['looped_seconds'] * 1e3:7.1f} ms  "
+            f"vectorized={row['vectorized_seconds'] * 1e3:7.1f} ms  "
+            f"speedup={row['speedup']:.2f}x",
+            flush=True,
+        )
+    headline = next((r for r in rows if r["scale"] == HEADLINE_SCALE), None)
+    return {
+        "benchmark": "kernel backends: looped vs vectorized",
+        "problem": "poisson3d (7-point 3-D Poisson)",
+        "timed_solves": "reference + ESRP(T=20) + ESRP(T=20, 1 failure)",
+        "metric": "min over repeats of summed solver wall-clock seconds",
+        "results": rows,
+        "headline": {
+            "scale": HEADLINE_SCALE,
+            "speedup": headline["speedup"] if headline else None,
+            "threshold": SPEEDUP_THRESHOLD,
+            "passed": bool(headline and headline["speedup"] >= SPEEDUP_THRESHOLD),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default: {DEFAULT_OUT.name})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per cell (min is kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny cells only, one repeat (CI sanity run)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the medium-Poisson "
+                        f"speedup is >= {SPEEDUP_THRESHOLD}x")
+    args = parser.parse_args(argv)
+
+    cells = (("tiny", 8), ("small", 8)) if args.smoke else CELLS
+    repeats = 1 if args.smoke else args.repeats
+    payload = run(cells, repeats)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        headline = payload["headline"]
+        if not headline["passed"]:
+            print(
+                f"FAIL: medium-Poisson speedup "
+                f"{headline['speedup']}x < {SPEEDUP_THRESHOLD}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check passed: {headline['speedup']:.2f}x >= {SPEEDUP_THRESHOLD}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

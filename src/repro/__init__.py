@@ -63,7 +63,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import cluster, core, distribution, harness, matrices, preconditioners, solvers
+from . import cluster, core, distribution, harness, kernels, matrices, preconditioners, solvers
 from .cluster import (
     CostModel,
     FailureEvent,
@@ -109,12 +109,14 @@ from .api import (
     SolveReport,
     SolveRequest,
     SolverSession,
+    register_backend,
     register_matrix,
     register_preconditioner,
     register_strategy,
 )
+from .kernels import KernelBackend
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ASpMVExecutor",
@@ -137,6 +139,7 @@ __all__ = [
     "FatTree",
     "IMCRStrategy",
     "IrrecoverableDataLossError",
+    "KernelBackend",
     "NodeFailureError",
     "PCGEngine",
     "PartitionError",
@@ -159,11 +162,13 @@ __all__ = [
     "core",
     "distribution",
     "harness",
+    "kernels",
     "make_preconditioner",
     "make_strategy",
     "matrices",
     "poisson_schedule",
     "preconditioners",
+    "register_backend",
     "register_matrix",
     "register_preconditioner",
     "register_strategy",
@@ -190,6 +195,7 @@ def solve(
     seed: int | None = 0,
     rule: str = "paper",
     destinations: str = "eq1",
+    backend: str | None = None,
     **precond_kwargs,
 ) -> SolveResult:
     """One-call convenience API: solve ``A x = b`` resiliently.
@@ -219,6 +225,10 @@ def solve(
         Machine model and noise seed for a freshly created cluster.
     rule:
         ASpMV extra-entry selection rule (``"paper"`` or ``"greedy"``).
+    backend:
+        Compute-kernel backend (``"looped"`` or ``"vectorized"``; any
+        registered name).  ``None`` keeps the default (vectorized) —
+        or, with an adopted ``cluster``, that cluster's backend.
 
     Inputs are validated eagerly: unknown strategy/preconditioner
     names, ``maxiter < 1`` and ``phi >= n_nodes`` raise
@@ -236,6 +246,7 @@ def solve(
         rule=rule,
         destinations=destinations,
         seed=seed,
+        backend=backend,
         n_nodes=cluster.n_nodes if cluster is not None else n_nodes,
     )
     session = api.SolverSession(

@@ -3,8 +3,9 @@
 Three layers, from declarative to imperative:
 
 * **Registries** (:mod:`repro.api.registry`) — decorator-based plugin
-  points for strategies, preconditioners and named test problems;
-  the built-in components are ordinary registrations.
+  points for strategies, preconditioners, named test problems and
+  compute-kernel backends; the built-in components are ordinary
+  registrations.
 * **Requests/Reports** (:mod:`repro.api.request`) — a
   :class:`SolveRequest` describes one resilient solve declaratively
   (validated eagerly, JSON round-trippable); a :class:`SolveReport` is
@@ -37,16 +38,19 @@ from __future__ import annotations
 import importlib
 
 from .registry import (
+    KERNELS,
     MATRICES,
     PRECONDITIONERS,
     STRATEGIES,
     Registry,
+    register_backend,
     register_matrix,
     register_preconditioner,
     register_strategy,
 )
 
 __all__ = [
+    "KERNELS",
     "MATRICES",
     "PRECONDITIONERS",
     "STRATEGIES",
@@ -55,6 +59,7 @@ __all__ = [
     "SolveReport",
     "SolveRequest",
     "SolverSession",
+    "register_backend",
     "register_matrix",
     "register_preconditioner",
     "register_strategy",

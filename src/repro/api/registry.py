@@ -1,9 +1,9 @@
-"""Pluggable component registries (strategies, preconditioners, matrices).
+"""Pluggable component registries (strategies, preconditioners, matrices, kernels).
 
 The library used to hard-code its component factories as if/elif
 chains (``core/strategies.py``) and module-level dicts
 (``preconditioners/__init__.py``, ``matrices/suite.py``).  This module
-replaces those with three decorator-based registries so that
+replaces those with decorator-based registries so that
 
 * the built-in name/alias tables become ordinary registrations,
 * third-party code can plug in new strategies, preconditioners or test
@@ -37,6 +37,10 @@ Builder conventions
     Called as ``builder(scale, seed)``; may return either a square
     SPD scipy sparse matrix or a ``(matrix, grid, dofs_per_point)``
     triple (the built-in generators use the triple form).
+``kernel backend``
+    Called with no arguments; must return a
+    :class:`~repro.kernels.KernelBackend` (see :mod:`repro.kernels`
+    for the backend contract).
 """
 
 from __future__ import annotations
@@ -165,6 +169,8 @@ STRATEGIES = Registry("strategy")
 PRECONDITIONERS = Registry("preconditioner")
 #: Named test problems (built-ins registered by :mod:`repro.matrices.suite`).
 MATRICES = Registry("matrix")
+#: Compute-kernel backends (built-ins registered by :mod:`repro.kernels`).
+KERNELS = Registry("kernel backend")
 
 
 def register_strategy(name: str, *, aliases: Iterable[str] = (), overwrite: bool = False):
@@ -180,3 +186,17 @@ def register_preconditioner(name: str, *, aliases: Iterable[str] = (), overwrite
 def register_matrix(name: str, *, aliases: Iterable[str] = (), overwrite: bool = False):
     """Decorator: register a test-problem generator in :data:`MATRICES`."""
     return MATRICES.register(name, aliases=aliases, overwrite=overwrite)
+
+
+def register_backend(name: str, *, aliases: Iterable[str] = (), overwrite: bool = False):
+    """Decorator: register a compute-kernel backend in :data:`KERNELS`.
+
+    The builder is called with no arguments and must return a
+    :class:`~repro.kernels.KernelBackend`.  Registering a class whose
+    constructor takes no arguments works directly::
+
+        @register_backend("my_backend")
+        class MyBackend(KernelBackend):
+            ...
+    """
+    return KERNELS.register(name, aliases=aliases, overwrite=overwrite)

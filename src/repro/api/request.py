@@ -30,7 +30,7 @@ from typing import Any, Mapping
 
 from ..cluster.failures import FailureEvent, FailureSchedule
 from ..exceptions import ConfigurationError
-from .registry import PRECONDITIONERS, STRATEGIES
+from .registry import KERNELS, PRECONDITIONERS, STRATEGIES
 
 
 def _normalise_failures(failures) -> tuple[FailureEvent, ...]:
@@ -70,6 +70,18 @@ class SolveRequest:
     rule: str = "paper"
     #: Designated-destination policy (``"eq1"`` or ``"switch_aware"``).
     destinations: str = "eq1"
+    #: Compute-kernel backend executing the numerics (``None``: inherit
+    #: the session's backend, which defaults to ``"vectorized"``).  Any
+    #: name registered via :func:`repro.api.register_backend`; the
+    #: built-ins are ``"looped"`` and ``"vectorized"`` and produce
+    #: bit-identical reports (see :mod:`repro.kernels`).
+    backend: str | None = None
+    #: Initial guess policy.  ``None`` starts from zero; ``"previous"``
+    #: warm-starts from the final iterate of the session's previous
+    #: solve (explicit initial-guess arrays go through
+    #: ``SolverSession.solve(x0=...)`` — they do not belong in a
+    #: JSON-round-trippable request).
+    x0: str | None = None
     #: Cluster noise seed for this solve (``None``: inherit the
     #: session's seed, which is the default).
     seed: int | None = None
@@ -87,6 +99,13 @@ class SolveRequest:
         )
         object.__setattr__(self, "precond_params", dict(self.precond_params))
         object.__setattr__(self, "failures", _normalise_failures(self.failures))
+        if self.backend is not None:
+            object.__setattr__(self, "backend", KERNELS.resolve(self.backend))
+        if self.x0 is not None and self.x0 != "previous":
+            raise ConfigurationError(
+                f"x0 must be None or 'previous', got {self.x0!r} (explicit "
+                "initial-guess arrays go through SolverSession.solve(x0=...))"
+            )
         if self.T < 1:
             raise ConfigurationError(f"T must be >= 1, got {self.T}")
         if self.phi < 1:
@@ -182,6 +201,8 @@ class SolveReport:
     failure_iterations: tuple[int, ...]
     #: Per-channel message/byte statistics of the virtual cluster.
     stats: dict[str, float]
+    #: Compute-kernel backend that executed the numerics.
+    backend: str | None = None
     # Reference-trajectory comparison (None when not requested/cached).
     reference_time: float | None = None
     reference_iterations: int | None = None

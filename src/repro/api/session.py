@@ -29,6 +29,10 @@ inspect to verify that reuse actually reuses.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
+import pathlib
+import tempfile
 from collections import Counter
 from typing import Any, Iterable, Sequence
 
@@ -39,7 +43,12 @@ from ..cluster.cost_model import CostModel
 from ..distribution.matrix import DistributedMatrix
 from ..distribution.partition import BlockRowPartition
 from ..exceptions import ConfigurationError
+from .registry import KERNELS
 from .request import SolveReport, SolveRequest
+
+#: Default spool directory for ``cache_dir=True`` (also the campaign
+#: CLI's ``--cache-dir`` default).
+DEFAULT_CACHE_DIR = "~/.cache/repro"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +80,8 @@ class SolverSession:
         topology=None,
         seed: int | None = 0,
         cluster: VirtualCluster | None = None,
+        backend: str = "vectorized",
+        cache_dir: "str | os.PathLike | bool | None" = None,
         meta=None,
     ):
         """Bind a session to one (matrix, b) problem.
@@ -88,6 +99,18 @@ class SolverSession:
             An adopted cluster is **not** reset between solves — its
             clock and statistics continue across calls, preserving the
             historical ``repro.solve(cluster=...)`` semantics.
+        backend:
+            Compute-kernel backend for this session's solves (any name
+            in the :data:`~repro.api.registry.KERNELS` registry);
+            individual requests may override it via
+            ``SolveRequest(backend=...)``.
+        cache_dir:
+            Spool computed reference trajectories to this directory so
+            concurrent workers (e.g. campaign processes) stop computing
+            one copy each.  ``True`` uses ``~/.cache/repro``; ``None``
+            (default) disables the disk cache.  Entries are keyed by a
+            fingerprint of the problem, cluster model and request, so
+            unrelated sessions never collide.
         meta:
             Optional problem metadata (attached by :meth:`from_problem`).
         """
@@ -100,12 +123,25 @@ class SolverSession:
         self._owns_cluster = cluster is None
         self._cluster = cluster
         self._n_nodes = int(cluster.n_nodes if cluster is not None else n_nodes)
+        self._backend = KERNELS.resolve(backend)
+        if cache_dir is True:
+            cache_dir = DEFAULT_CACHE_DIR
+        self.cache_dir = (
+            pathlib.Path(os.path.expanduser(os.fspath(cache_dir)))
+            if cache_dir
+            else None
+        )
         self._partition: BlockRowPartition | None = None
         self._dist_matrix: DistributedMatrix | None = None
         self._preconditioners: dict[str, Any] = {}
         self._references: dict[tuple[str, float], ReferenceTrajectory] = {}
+        self._problem_digest: str | None = None
+        #: Final iterate of the most recent (non-reference) solve;
+        #: served to requests with ``x0="previous"``.
+        self._last_x: np.ndarray | None = None
         #: Counts of expensive setup work: ``"cluster"``, ``"matrix"``,
-        #: ``"preconditioner"``, ``"reference"``.
+        #: ``"preconditioner"``, ``"reference"`` (computed) and
+        #: ``"reference_disk"`` (loaded from the spool directory).
         self.setup_events: Counter[str] = Counter()
         if cluster is not None:
             # Adopted clusters were built by the caller; no setup charged.
@@ -124,6 +160,8 @@ class SolverSession:
         topology=None,
         seed: int | None = 0,
         problem_seed: int = 2020,
+        backend: str = "vectorized",
+        cache_dir: "str | os.PathLike | bool | None" = None,
     ) -> "SolverSession":
         """Build a session for a registered named problem.
 
@@ -140,6 +178,8 @@ class SolverSession:
             cost_model=cost_model,
             topology=topology,
             seed=seed,
+            backend=backend,
+            cache_dir=cache_dir,
             meta=meta,
         )
 
@@ -215,6 +255,17 @@ class SolverSession:
 
         request.validate_for(self._n_nodes)
         precond = self._preconditioner_for(request)
+        restore_backend = None
+        if request.backend is not None:
+            if not self._owns_cluster:
+                # A per-request override on an adopted cluster is
+                # scoped to this solve; the caller's backend returns
+                # afterwards.
+                restore_backend = self.cluster.kernels
+            self.cluster.kernels = request.backend
+        elif self._owns_cluster:
+            # Adopted clusters keep whatever backend the caller chose.
+            self.cluster.kernels = self._backend
         if self._owns_cluster:
             seed = request.seed if request.seed is not None else self._seed
             self.cluster.reset(seed=seed)
@@ -234,7 +285,11 @@ class SolverSession:
             failures=request.schedule(),
         )
         self.setup_events["solve"] += 1
-        return engine.solve(x0=x0)
+        try:
+            return engine.solve(x0=x0)
+        finally:
+            if restore_backend is not None:
+                self.cluster.kernels = restore_backend
 
     def reference(
         self,
@@ -264,21 +319,125 @@ class SolverSession:
         cached = self._references.get(key)
         if cached is not None:
             return cached
-        ref_request = SolveRequest(
-            strategy="reference",
-            preconditioner=request.preconditioner,
-            precond_params=request.precond_params,
-            rtol=request.rtol,
-            maxiter=request.maxiter,
-            seed=self._seed,
-        )
-        result = self._execute(ref_request)
-        trajectory = ReferenceTrajectory(
-            t0=result.modeled_time, C=result.iterations, x=result.x
-        )
+        trajectory = self._load_reference_from_disk(request)
+        if trajectory is None:
+            ref_request = SolveRequest(
+                strategy="reference",
+                preconditioner=request.preconditioner,
+                precond_params=request.precond_params,
+                rtol=request.rtol,
+                maxiter=request.maxiter,
+                seed=self._seed,
+            )
+            result = self._execute(ref_request)
+            trajectory = ReferenceTrajectory(
+                t0=result.modeled_time, C=result.iterations, x=result.x
+            )
+            self.setup_events["reference"] += 1
+            self._store_reference_to_disk(request, trajectory)
         self._references[key] = trajectory
-        self.setup_events["reference"] += 1
         return trajectory
+
+    # ------------------------------------------------------ reference spooling
+
+    def _fingerprint(self, request: SolveRequest) -> str:
+        """Stable digest identifying one reference trajectory on disk.
+
+        Covers everything the trajectory depends on: the matrix and
+        right-hand side (content, not identity), the cluster model
+        (node count, cost constants, topology, noise seed) and the
+        reference request (preconditioner + params, rtol, maxiter).
+        Kernel backends are bit-identical by contract, so the backend
+        is deliberately *not* part of the key — looped and vectorized
+        workers share entries.
+        """
+        if self._problem_digest is None:
+            import scipy.sparse as sp
+
+            csr = sp.csr_matrix(self.matrix_csr)
+            h = hashlib.sha256()
+            h.update(str(csr.shape).encode())
+            h.update(csr.indptr.tobytes())
+            h.update(csr.indices.tobytes())
+            h.update(csr.data.tobytes())
+            h.update(self.b.tobytes())
+            self._problem_digest = h.hexdigest()
+        cost_model = self._cost_model if self._cost_model is not None else CostModel()
+        topology = self._topology
+        # Type plus every instance attribute (n_nodes, radix, ... — all
+        # small ints), so differently-wired topologies never collide.
+        topology_tag = (
+            f"{type(topology).__name__}:{sorted(vars(topology).items())}"
+            if topology is not None
+            else "default"
+        )
+        h = hashlib.sha256()
+        h.update(self._problem_digest.encode())
+        parts = (
+            self._n_nodes,
+            dataclasses.astuple(cost_model),
+            topology_tag,
+            self._seed,
+            request.precond_key,
+            request.rtol,
+            request.maxiter,
+        )
+        h.update(repr(parts).encode())
+        return h.hexdigest()
+
+    def _reference_path(self, request: SolveRequest) -> pathlib.Path:
+        return self.cache_dir / f"reference-{self._fingerprint(request)[:40]}.npz"
+
+    def _load_reference_from_disk(self, request: SolveRequest) -> ReferenceTrajectory | None:
+        if self.cache_dir is None:
+            return None
+        path = self._reference_path(request)
+        try:
+            with np.load(path) as payload:
+                trajectory = ReferenceTrajectory(
+                    t0=float(payload["t0"]),
+                    C=int(payload["C"]),
+                    x=np.asarray(payload["x"], dtype=np.float64),
+                )
+        except (OSError, KeyError, ValueError):
+            # Missing, corrupt or truncated spool entry: recompute.
+            return None
+        self.setup_events["reference_disk"] += 1
+        return trajectory
+
+    def _store_reference_to_disk(
+        self, request: SolveRequest, trajectory: ReferenceTrajectory
+    ) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._reference_path(request)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: concurrent campaign workers may race on
+            # the same entry; each writes a private temp file and the
+            # last rename wins (all contents are identical anyway).
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(
+                        handle,
+                        t0=np.float64(trajectory.t0),
+                        C=np.int64(trajectory.C),
+                        x=trajectory.x,
+                    )
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # The spool is an optimisation; an unwritable directory
+            # must not fail the solve.
+            pass
 
     def solve(
         self,
@@ -294,6 +453,10 @@ class SolverSession:
         trajectory's overhead metrics (t₀, C, total/recovery overhead,
         solution error) to the report, computing the reference first if
         this (preconditioner, rtol) pair has never been solved.
+
+        A request with ``x0="previous"`` warm-starts from the final
+        iterate of this session's previous solve (reference solves do
+        not count — they are baseline measurements, not state).
         """
         if request is None:
             request = SolveRequest(**kwargs)
@@ -302,11 +465,23 @@ class SolverSession:
                 "pass either a SolveRequest or keyword arguments, not both"
             )
         request.validate_for(self._n_nodes)
+        if request.x0 == "previous":
+            if x0 is not None:
+                raise ConfigurationError(
+                    "request asks for x0='previous' but an explicit x0 array "
+                    "was also given"
+                )
+            if self._last_x is None:
+                raise ConfigurationError(
+                    "x0='previous' needs a previous solve in this session"
+                )
+            x0 = self._last_x
 
         reference = None
         if with_reference:
             reference = self._reference_for(request)
         result = self._execute(request, x0=x0)
+        self._last_x = result.x
         return self._report(request, result, reference)
 
     def solve_many(
@@ -364,6 +539,7 @@ class SolverSession:
             n_failures=len(request.failures),
             failure_iterations=failure_iterations,
             stats=dict(result.stats),
+            backend=result.backend or None,
             reference_time=reference.t0 if reference is not None else None,
             reference_iterations=reference.C if reference is not None else None,
             total_overhead=overhead,

@@ -35,9 +35,28 @@ from .spec import CampaignSpec, RunSpec, expand_spec
 ProgressFn = Callable[[int, int, CampaignRunRecord], None]
 
 
+#: Environment variable through which the campaign driver hands the
+#: reference-trajectory spool directory to its pool workers (set before
+#: the pool starts, so both fork and spawn children inherit it).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
 @functools.lru_cache(maxsize=8)
-def _session_for(problem: str, scale: str, n_nodes: int, problem_seed: int):
-    """Per-worker-process session cache (one per problem configuration)."""
+def _session_for(
+    problem: str,
+    scale: str,
+    n_nodes: int,
+    problem_seed: int,
+    cache_dir: str | None,
+):
+    """Per-worker-process session cache (one per problem configuration).
+
+    When a spool directory is given (via ``REPRO_CACHE_DIR``), each
+    session additionally spools computed reference trajectories there,
+    so N pool workers compute one copy between them instead of N.  The
+    directory is part of the memoisation key, so campaigns with
+    different (or no) spool directories never share a session.
+    """
     from ..api.session import SolverSession
     from ..harness.calibration import BENCH_COST_MODEL
 
@@ -48,12 +67,19 @@ def _session_for(problem: str, scale: str, n_nodes: int, problem_seed: int):
         cost_model=BENCH_COST_MODEL,
         seed=problem_seed,
         problem_seed=problem_seed,
+        cache_dir=cache_dir,
     )
 
 
 def run_one(run: RunSpec) -> CampaignRunRecord:
     """Execute one fully-resolved run and flatten it into a record."""
-    session = _session_for(run.problem, run.scale, run.n_nodes, run.problem_seed)
+    session = _session_for(
+        run.problem,
+        run.scale,
+        run.n_nodes,
+        run.problem_seed,
+        os.environ.get(CACHE_DIR_ENV) or None,
+    )
     reference = session.reference(preconditioner=run.preconditioner, rtol=run.rtol)
 
     if run.strategy == "reference":
@@ -78,6 +104,7 @@ def run_one(run: RunSpec) -> CampaignRunRecord:
         failures=failures,
         seed=run.seed,
         n_nodes=run.n_nodes,
+        backend=run.backend,
         label=run.run_id,
     )
     report = session.solve(request, with_reference=True)
@@ -91,6 +118,7 @@ def run_one(run: RunSpec) -> CampaignRunRecord:
         strategy=run.strategy,
         T=run.T,
         phi=run.phi,
+        backend=report.backend or run.backend,
         scenario_kind=run.scenario.kind,
         scenario_params=dict(run.scenario.params),
         repetition=run.repetition,
@@ -150,16 +178,32 @@ def execute_campaign(
     spec: CampaignSpec,
     workers: int | None = None,
     progress: ProgressFn | None = None,
+    cache_dir: str | None = None,
 ) -> CampaignResult:
     """Expand a campaign spec and execute every run.
 
     ``workers=None`` picks :func:`default_workers`; pass ``0``/``1``
     to force serial execution (e.g. inside tests comparing the two).
+    ``cache_dir`` names a directory where workers spool reference
+    trajectories to disk (exported as ``REPRO_CACHE_DIR`` for the
+    duration of the campaign, so every worker — fork or spawn — shares
+    one copy per configuration instead of computing its own; the
+    previous value is restored afterwards).
     """
     runs = expand_spec(spec)
     if not runs:
         raise ConfigurationError(f"campaign {spec.name!r} expands to zero runs")
     if workers is None:
         workers = default_workers(len(runs))
-    records = execute_runs(runs, workers=workers, progress=progress)
+    previous = os.environ.get(CACHE_DIR_ENV)
+    if cache_dir is not None:
+        os.environ[CACHE_DIR_ENV] = os.fspath(cache_dir)
+    try:
+        records = execute_runs(runs, workers=workers, progress=progress)
+    finally:
+        if cache_dir is not None:
+            if previous is None:
+                os.environ.pop(CACHE_DIR_ENV, None)
+            else:
+                os.environ[CACHE_DIR_ENV] = previous
     return CampaignResult(spec=spec.to_dict(), records=records)

@@ -57,6 +57,11 @@ class CampaignRunRecord:
     #: :class:`repro.cluster.statistics.ClusterStats`), so
     #: communication-volume regressions can be swept campaign-style.
     stats: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Compute-kernel backend that executed the run (records stored
+    #: before backends existed load as the then-only ``"vectorized"``
+    #: semantics, i.e. the per-rank reference numerics — the two are
+    #: bit-identical by contract, so the label is interchangeable).
+    backend: str = "vectorized"
 
     @property
     def wasted_iterations(self) -> int:
@@ -80,8 +85,10 @@ class CampaignRunRecord:
         payload["failure_iterations"] = tuple(
             int(i) for i in payload.get("failure_iterations") or ()
         )
-        # Records written before the stats column existed load as {}.
+        # Records written before the stats column existed load as {};
+        # records without a backend column load as the default backend.
         payload["stats"] = dict(payload.get("stats") or {})
+        payload.setdefault("backend", "vectorized")
         return cls(**payload)
 
 
@@ -205,16 +212,23 @@ class CampaignResult:
                 continue
             if record.strategy == "reference":
                 continue
-            key = (record.strategy, record.T, record.scenario_label, record.phi)
+            key = (
+                record.strategy,
+                record.T,
+                record.scenario_label,
+                record.phi,
+                record.backend,
+            )
             groups.setdefault(key, []).append(record)
         rows = []
-        for (strategy, T, scenario, phi), cell in sorted(groups.items()):
+        for (strategy, T, scenario, phi, backend), cell in sorted(groups.items()):
             rows.append(
                 {
                     "strategy": strategy,
                     "T": T,
                     "scenario": scenario,
                     "phi": phi,
+                    "backend": backend,
                     "runs": len(cell),
                     "converged": all(r.converged for r in cell),
                     "total_overhead": median([r.total_overhead for r in cell]),
@@ -225,6 +239,10 @@ class CampaignResult:
                 }
             )
         return rows
+
+    def backends(self) -> tuple[str, ...]:
+        """Distinct kernel backends appearing in the records."""
+        return tuple(sorted({r.backend for r in self.records}))
 
     def communication_rows(self, problem: str | None = None) -> list[dict[str, Any]]:
         """Median per-channel traffic per (strategy, T, scenario, ϕ) cell.
@@ -240,10 +258,16 @@ class CampaignResult:
                 continue
             if not record.stats:
                 continue
-            key = (record.strategy, record.T, record.scenario_label, record.phi)
+            key = (
+                record.strategy,
+                record.T,
+                record.scenario_label,
+                record.phi,
+                record.backend,
+            )
             groups.setdefault(key, []).append(record)
         rows = []
-        for (strategy, T, scenario, phi), cell in sorted(groups.items()):
+        for (strategy, T, scenario, phi, backend), cell in sorted(groups.items()):
             channels = sorted(
                 {
                     key[len("bytes["):-1]
@@ -259,6 +283,7 @@ class CampaignResult:
                         "T": T,
                         "scenario": scenario,
                         "phi": phi,
+                        "backend": backend,
                         "channel": channel,
                         "runs": len(cell),
                         "bytes": median(
@@ -280,21 +305,21 @@ class CampaignResult:
 
         The A/B view for two stored campaign result files (two code
         revisions, two machine models): cells are matched on
-        (strategy, T, scenario, ϕ); each row carries both medians and
-        their difference in percentage points (``None`` where a cell
-        exists on only one side).
+        (strategy, T, scenario, ϕ, backend); each row carries both
+        medians and their difference in percentage points (``None``
+        where a cell exists on only one side).
         """
         ours = {
-            (r["strategy"], r["T"], r["scenario"], r["phi"]): r
+            (r["strategy"], r["T"], r["scenario"], r["phi"], r["backend"]): r
             for r in self.overhead_rows(problem)
         }
         theirs = {
-            (r["strategy"], r["T"], r["scenario"], r["phi"]): r
+            (r["strategy"], r["T"], r["scenario"], r["phi"], r["backend"]): r
             for r in baseline.overhead_rows(problem)
         }
         rows: list[dict[str, Any]] = []
         for key in sorted(set(ours) | set(theirs)):
-            strategy, T, scenario, phi = key
+            strategy, T, scenario, phi, backend = key
             a, b = ours.get(key), theirs.get(key)
 
             def _delta(field: str):
@@ -308,6 +333,7 @@ class CampaignResult:
                     "T": T,
                     "scenario": scenario,
                     "phi": phi,
+                    "backend": backend,
                     "runs": a["runs"] if a else 0,
                     "baseline_runs": b["runs"] if b else 0,
                     "total_overhead": a["total_overhead"] if a else None,
@@ -322,6 +348,112 @@ class CampaignResult:
             )
         return rows
 
+    def compare_communication(
+        self, baseline: "CampaignResult", problem: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Per-cell, per-channel communication-volume deltas vs. a baseline.
+
+        The communication analogue of :meth:`compare`: cells are
+        matched on (strategy, T, scenario, ϕ, backend, channel); each
+        row carries the median byte/message counts of both sides and
+        their absolute and relative deltas (``None`` where a cell
+        exists on only one side; relative deltas are against the
+        baseline volume and ``None`` when the baseline is zero).
+        """
+        def keyed(result: "CampaignResult") -> dict[tuple, dict[str, Any]]:
+            return {
+                (
+                    r["strategy"], r["T"], r["scenario"], r["phi"],
+                    r["backend"], r["channel"],
+                ): r
+                for r in result.communication_rows(problem)
+            }
+
+        ours, theirs = keyed(self), keyed(baseline)
+        rows: list[dict[str, Any]] = []
+        for key in sorted(set(ours) | set(theirs)):
+            strategy, T, scenario, phi, backend, channel = key
+            a, b = ours.get(key), theirs.get(key)
+
+            def _delta(field: str):
+                if a is None or b is None:
+                    return None
+                return a[field] - b[field]
+
+            def _ratio(field: str):
+                if a is None or b is None or not b[field]:
+                    return None
+                return (a[field] - b[field]) / b[field]
+
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "T": T,
+                    "scenario": scenario,
+                    "phi": phi,
+                    "backend": backend,
+                    "channel": channel,
+                    "runs": a["runs"] if a else 0,
+                    "baseline_runs": b["runs"] if b else 0,
+                    "bytes": a["bytes"] if a else None,
+                    "baseline_bytes": b["bytes"] if b else None,
+                    "delta_bytes": _delta("bytes"),
+                    "rel_bytes": _ratio("bytes"),
+                    "messages": a["messages"] if a else None,
+                    "baseline_messages": b["messages"] if b else None,
+                    "delta_messages": _delta("messages"),
+                    "rel_messages": _ratio("messages"),
+                }
+            )
+        return rows
+
+    def render_communication_comparison(self, baseline: "CampaignResult") -> str:
+        """A/B text report of per-channel communication volumes."""
+        lines = [
+            f"communication volume: campaign {self.name!r} vs. "
+            f"baseline {baseline.name!r}"
+        ]
+        problems = tuple(sorted(set(self.problems()) | set(baseline.problems())))
+        multi_backend = len(set(self.backends()) | set(baseline.backends())) > 1
+        for problem in problems:
+            rows = self.compare_communication(baseline, problem=problem)
+            if not rows:
+                continue
+            if multi_backend:
+                rows = [
+                    {**row, "scenario": f"{row['scenario']} [{row['backend']}]"}
+                    for row in rows
+                ]
+            lines.append("")
+            lines.append(f"problem {problem}")
+            header = (
+                f"{'Strategy':9s} {'T':>4s} | {'Scenario':34s} | {'phi':>3s} | "
+                f"{'Channel':12s} | {'bytes':>12s} {'base':>12s} {'Δ%':>7s} | "
+                f"{'msgs':>9s} {'base':>9s} {'Δ%':>7s}"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+
+            def num(value, width):
+                return f"{value:{width}.0f}" if value is not None else " " * (width - 1) + "-"
+
+            def pct(value, width=7):
+                return f"{100 * value:{width}.2f}" if value is not None else " " * (width - 1) + "-"
+
+            for row in rows:
+                lines.append(
+                    f"{row['strategy']:9s} {row['T']:>4d} | {row['scenario']:34s} | "
+                    f"{row['phi']:>3d} | {row['channel']:12s} | "
+                    f"{num(row['bytes'], 12)} {num(row['baseline_bytes'], 12)} "
+                    f"{pct(row['rel_bytes'])} | "
+                    f"{num(row['messages'], 9)} {num(row['baseline_messages'], 9)} "
+                    f"{pct(row['rel_messages'])}"
+                )
+        if len(lines) == 1:
+            lines.append("")
+            lines.append("no per-channel statistics found in either campaign")
+        return "\n".join(lines)
+
     def render_comparison(self, baseline: "CampaignResult") -> str:
         """A/B text report: per-cell overhead deltas against ``baseline``."""
         if not self.records and not baseline.records:
@@ -331,10 +463,16 @@ class CampaignResult:
             f"baseline {baseline.name!r} ({len(baseline.records)} runs)"
         ]
         problems = tuple(sorted(set(self.problems()) | set(baseline.problems())))
+        multi_backend = len(set(self.backends()) | set(baseline.backends())) > 1
         for problem in problems:
             rows = self.compare(baseline, problem=problem)
             if not rows:
                 continue
+            if multi_backend:
+                rows = [
+                    {**row, "scenario": f"{row['scenario']} [{row['backend']}]"}
+                    for row in rows
+                ]
             lines.append("")
             lines.append(f"problem {problem}")
             header = (
@@ -396,9 +534,13 @@ class CampaignResult:
             lines.append(header)
             lines.append("-" * len(header))
             rows = self.overhead_rows(problem)
+            multi_backend = len(self.backends()) > 1
             cells: dict[tuple, dict[int, dict]] = {}
             for row in rows:
-                key = (row["strategy"], row["T"], row["scenario"])
+                scenario = row["scenario"]
+                if multi_backend:
+                    scenario = f"{scenario} [{row['backend']}]"
+                key = (row["strategy"], row["T"], scenario)
                 cells.setdefault(key, {})[row["phi"]] = row
             last_strategy_T = None
             for (strategy, T, scenario), by_phi in sorted(

@@ -80,10 +80,29 @@ class RunSpec:
     #: Campaign base seed (matrix generation — same matrix for all runs).
     problem_seed: int
     rtol: float
+    #: Compute-kernel backend executing the run's numerics.
+    backend: str = "vectorized"
 
     @property
     def run_id(self) -> str:
-        """Stable human-readable identity (also the dedup/seed key)."""
+        """Stable human-readable identity (also the dedup/seed key).
+
+        The backend suffix appears only for non-default backends, so
+        run ids (and the seeds derived from them) of default-backend
+        runs match those of records stored before backends existed.
+        """
+        backend = "" if self.backend == "vectorized" else f":{self.backend}"
+        return self.seed_key + backend
+
+    @property
+    def seed_key(self) -> str:
+        """Run identity *without* the backend (the seed-derivation key).
+
+        Deriving the per-run seed from the backend-free identity gives
+        the same cell the same noise stream under every backend, so a
+        backend A/B sweep compares bit-identical trajectories instead
+        of re-rolled ones.
+        """
         return (
             f"{self.problem}:{self.scale}:n{self.n_nodes}:{self.preconditioner}"
             f":{self.strategy}:T{self.T}:phi{self.phi}"
@@ -100,6 +119,7 @@ class RunSpec:
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
         payload = {k: v for k, v in data.items() if k != "run_id"}
         payload["scenario"] = ScenarioSpec.from_dict(payload["scenario"])
+        payload.setdefault("backend", "vectorized")
         return cls(**payload)
 
 
@@ -130,8 +150,14 @@ class CampaignSpec:
     repetitions: int = 1
     seed: int = 2020
     rtol: float = 1e-8
+    #: Compute-kernel backends to sweep (usually just the default; list
+    #: several — e.g. ``("looped", "vectorized")`` — to A/B backends
+    #: within one campaign).
+    backends: tuple[str, ...] = ("vectorized",)
 
     def __post_init__(self) -> None:
+        if not self.backends:
+            raise ConfigurationError("campaign needs at least one kernel backend")
         if self.n_nodes < 2:
             raise ConfigurationError("campaigns need at least 2 nodes")
         if self.repetitions < 1:
@@ -170,7 +196,7 @@ class CampaignSpec:
             payload["scenarios"] = tuple(
                 ScenarioSpec.from_dict(s) for s in payload["scenarios"]
             )
-        for key in ("preconditioners", "phis"):
+        for key in ("preconditioners", "phis", "backends"):
             if key in payload:
                 payload[key] = tuple(payload[key])
         return cls(**payload)
@@ -197,6 +223,7 @@ class CampaignSpec:
             "repetitions": self.repetitions,
             "seed": self.seed,
             "rtol": self.rtol,
+            "backends": list(self.backends),
         }
 
 
@@ -245,29 +272,33 @@ def expand_spec(spec: CampaignSpec) -> list[RunSpec]:
                 for T_raw in strategy_spec.intervals:
                     for phi in spec.phis:
                         for scenario in spec.scenarios:
-                            strategy, T = _canonical_strategy(strategy_spec.name, T_raw)
-                            if strategy == "reference":
-                                if scenario.injects_failures:
-                                    continue
-                                phi = 1
-                            for repetition in range(spec.repetitions):
-                                run = RunSpec(
-                                    problem=problem,
-                                    scale=scale,
-                                    n_nodes=spec.n_nodes,
-                                    preconditioner=preconditioner,
-                                    strategy=strategy,
-                                    T=T,
-                                    phi=phi,
-                                    scenario=scenario,
-                                    repetition=repetition,
-                                    seed=0,
-                                    problem_seed=spec.seed,
-                                    rtol=spec.rtol,
+                            for backend in spec.backends:
+                                strategy, T = _canonical_strategy(
+                                    strategy_spec.name, T_raw
                                 )
-                                seed = derive_seed(spec.seed, run.run_id)
-                                run = dataclasses.replace(run, seed=seed)
-                                runs.setdefault(run.run_id, run)
+                                if strategy == "reference":
+                                    if scenario.injects_failures:
+                                        continue
+                                    phi = 1
+                                for repetition in range(spec.repetitions):
+                                    run = RunSpec(
+                                        problem=problem,
+                                        scale=scale,
+                                        n_nodes=spec.n_nodes,
+                                        preconditioner=preconditioner,
+                                        strategy=strategy,
+                                        T=T,
+                                        phi=phi,
+                                        scenario=scenario,
+                                        repetition=repetition,
+                                        seed=0,
+                                        problem_seed=spec.seed,
+                                        rtol=spec.rtol,
+                                        backend=backend,
+                                    )
+                                    seed = derive_seed(spec.seed, run.seed_key)
+                                    run = dataclasses.replace(run, seed=seed)
+                                    runs.setdefault(run.run_id, run)
     return list(runs.values())
 
 

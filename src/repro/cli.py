@@ -86,6 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="redundant copies / tolerated failures")
     solve_cmd.add_argument("--preconditioner", default="block_jacobi",
                            choices=available_preconditioners())
+    solve_cmd.add_argument("--backend", default=None,
+                           help="compute-kernel backend (looped|vectorized; "
+                           "default: vectorized)")
     solve_cmd.add_argument("--rtol", type=float, default=1e-8)
     solve_cmd.add_argument("--fail", action="append", default=[],
                            metavar="ITER:RANKS",
@@ -123,6 +126,17 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="matrix scale of the built-in demo sweep")
     run_cmd.add_argument("--repetitions", type=int, default=None,
                          help="override the spec's repetitions per cell")
+    run_cmd.add_argument("--backends", default=None, metavar="NAMES",
+                         help="comma-separated kernel backends to sweep "
+                         "(overrides the spec, e.g. looped,vectorized)")
+    from .api.session import DEFAULT_CACHE_DIR
+
+    run_cmd.add_argument("--cache-dir", nargs="?", const=DEFAULT_CACHE_DIR,
+                         default=None, metavar="DIR",
+                         help="spool reference trajectories to DIR so pool "
+                         "workers share one copy per configuration "
+                         "(default DIR when given without a value: "
+                         f"{DEFAULT_CACHE_DIR})")
     run_cmd.add_argument("--list", action="store_true", dest="list_only",
                          help="print the expanded run list and exit")
     run_cmd.add_argument("--quiet", action="store_true",
@@ -137,6 +151,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="second result file: render per-cell A/B "
                            "overhead deltas (results minus baseline) instead "
                            "of the plain summary")
+    report_cmd.add_argument("--channels", action="store_true",
+                           help="with --baseline: additionally render "
+                           "per-channel communication-volume deltas")
     report_cmd.add_argument("--csv", default=None, metavar="FILE",
                            help="additionally export the raw records to CSV")
 
@@ -165,6 +182,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         rtol=args.rtol,
         failures=failures,
         seed=args.seed,
+        backend=args.backend,
         n_nodes=args.nodes,
     )
     session = SolverSession(matrix, b, n_nodes=args.nodes, seed=args.seed)
@@ -222,6 +240,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.baseline:
             baseline = CampaignResult.from_json(args.baseline)
             print(result.render_comparison(baseline))
+            if args.channels:
+                print()
+                print(result.render_communication_comparison(baseline))
         else:
             print(result.render_summary())
         if args.csv:
@@ -236,6 +257,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         spec = demo_spec(scale=args.scale)
     if args.repetitions is not None:
         spec = dataclasses.replace(spec, repetitions=args.repetitions)
+    if args.backends is not None:
+        names = tuple(n.strip() for n in args.backends.split(",") if n.strip())
+        spec = dataclasses.replace(spec, backends=names)
     runs = expand_spec(spec)
     if not runs:
         raise ConfigurationError(
@@ -257,7 +281,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             status = "ok " if record.converged else "FAIL"
             print(f"  [{done:>3d}/{total}] {status} {record.run_id} "
                   f"(+{100 * record.total_overhead:.1f}%)", flush=True)
-    result = execute_campaign(spec, workers=workers, progress=progress)
+    import os
+
+    cache_dir = os.path.expanduser(args.cache_dir) if args.cache_dir else None
+    result = execute_campaign(
+        spec, workers=workers, progress=progress, cache_dir=cache_dir
+    )
     print()
     print(result.render_summary())
     path = result.to_json(args.out)
@@ -266,11 +295,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
+    from .kernels import available_backends
+
     print(f"repro {__version__} — ICPP 2020 ESRP reproduction")
     print(f"problems:         {', '.join(available_problems())}")
     print(f"scales:           {', '.join(available_scales())}")
     print(f"strategies:       {', '.join(available_strategies())}")
     print(f"preconditioners:  {', '.join(available_preconditioners())}")
+    print(f"kernel backends:  {', '.join(available_backends())}")
     return 0
 
 

@@ -39,6 +39,7 @@ from .topology import FatTree, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..distribution.vector import DistributedVector
+    from ..kernels.base import KernelBackend
 
 
 class VirtualCluster:
@@ -50,6 +51,7 @@ class VirtualCluster:
         cost_model: CostModel | None = None,
         topology: Topology | None = None,
         seed: int | None = 0,
+        kernels: "str | KernelBackend | None" = None,
     ):
         if n_nodes < 1:
             raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -66,6 +68,15 @@ class VirtualCluster:
         self.stats = ClusterStats(self.n_nodes)
         #: Vectors whose blocks must be wiped when a node fails.
         self._registered_vectors: list[weakref.ReferenceType] = []
+        #: Number of currently failed nodes (fast-path guard).
+        self._dead_count = 0
+        #: Compiled (ranks, amounts, seconds) per charge profile.
+        self._compiled_charges: dict[tuple, tuple] = {}
+        self._compiled_memcpys: dict[tuple, tuple] = {}
+        #: Compute-kernel backend spec; resolved lazily on first access
+        #: (``None`` means the library default, currently "vectorized").
+        self._kernels_spec: "str | KernelBackend | None" = kernels
+        self._kernels: "KernelBackend | None" = None
 
     # ------------------------------------------------------------------ basics
 
@@ -95,6 +106,29 @@ class VirtualCluster:
         """Simulated makespan so far (max over node clocks)."""
         return float(self.clocks.max())
 
+    @property
+    def kernels(self) -> "KernelBackend":
+        """The compute-kernel backend executing this cluster's numerics.
+
+        Resolved lazily from the spec given at construction (a name in
+        the :data:`~repro.api.registry.KERNELS` registry or a backend
+        instance); assignable at any time — switching backends between
+        solves is safe because per-plan index caches live on the plan
+        objects, not on the backend.
+        """
+        if self._kernels is None:
+            from ..kernels import resolve_backend
+
+            self._kernels = resolve_backend(self._kernels_spec)
+        return self._kernels
+
+    @kernels.setter
+    def kernels(self, backend: "str | KernelBackend | None") -> None:
+        from ..kernels import resolve_backend
+
+        self._kernels = resolve_backend(backend)
+        self._kernels_spec = self._kernels
+
     def reset_stats(self) -> None:
         """Zero the traffic statistics (clocks are left untouched)."""
         self.stats = ClusterStats(self.n_nodes)
@@ -115,6 +149,7 @@ class VirtualCluster:
         self.clocks = np.zeros(self.n_nodes, dtype=np.float64)
         self.stats = ClusterStats(self.n_nodes)
         self._registered_vectors = []
+        self._dead_count = 0
 
     # --------------------------------------------------------------- accounting
 
@@ -132,6 +167,54 @@ class VirtualCluster:
         self.require_alive(rank)
         self.clocks[rank] += self._charge(self.cost_model.memcpy_time(nbytes))
         self.stats.record_local_copy(rank, nbytes)
+
+    def charge(
+        self,
+        compute: Iterable[tuple[int, float]] = (),
+        memcpy: Iterable[tuple[int, float]] = (),
+    ) -> None:
+        """Charge batches of per-rank costs declared analytically.
+
+        ``compute`` is a sequence of ``(rank, flops)`` pairs, ``memcpy``
+        a sequence of ``(rank, nbytes)`` pairs (all amounts >= 0).  The
+        effect — clocks, statistics, liveness validation and cost-noise
+        RNG draws — is exactly that of issuing the individual
+        :meth:`compute` / :meth:`memcpy` calls in order (all compute
+        items first, then all memcpy items); the loop is merely inlined
+        so fused kernels can declare a whole operation's bill,
+        precomputed from the communication plan, in one call instead of
+        incurring it inside a per-rank numeric loop (see
+        :mod:`repro.kernels`).
+        """
+        cost_model = self.cost_model
+        gamma = cost_model.gamma
+        mu = cost_model.mu
+        noisy = cost_model.noise != 0.0
+        clocks = self.clocks
+        nodes = self.nodes
+        stats = self.stats
+        flops_totals = stats.flops
+        copy_totals = stats.local_copy_bytes
+        for rank, flops in compute:
+            if not nodes[rank].alive:
+                raise DeadNodeError(f"rank {rank} is failed")
+            if flops < 0:
+                raise ConfigurationError(f"flops must be >= 0, got {flops}")
+            seconds = flops * gamma
+            if noisy:
+                seconds = cost_model.perturb(seconds, self.rng)
+            clocks[rank] += seconds
+            flops_totals[rank] += float(flops)
+        for rank, nbytes in memcpy:
+            if not nodes[rank].alive:
+                raise DeadNodeError(f"rank {rank} is failed")
+            if nbytes < 0:
+                raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+            seconds = nbytes * mu
+            if noisy:
+                seconds = cost_model.perturb(seconds, self.rng)
+            clocks[rank] += seconds
+            copy_totals[rank] += int(nbytes)
 
     def send(self, src: int, dst: int, nbytes: int, channel: str) -> None:
         """Charge one point-to-point message ``src -> dst``."""
@@ -212,8 +295,126 @@ class VirtualCluster:
             latest = max(start[src] + send_time[src] for src, _cost in sources)
             self.clocks[dst] = max(self.clocks[dst], latest)
 
+    def charge_compute(self, profile: tuple[tuple[int, float], ...]) -> None:
+        """Apply a fixed compute bill (``(rank, flops)`` pairs, e.g. a
+        :meth:`~repro.distribution.partition.BlockRowPartition.charge_profile`).
+
+        Equivalent to ``charge(compute=profile)``; repeated bills are
+        compiled once per (profile, cost model) into fused numpy
+        updates.  Falls back to the per-item loop under cost noise (RNG
+        draw order) or with failed nodes present (liveness errors).
+        """
+        if self.cost_model.noise != 0.0 or self._dead_count:
+            self.charge(compute=profile)
+            return
+        entry = self._compiled_charges.get(profile)
+        if entry is None:
+            ranks = np.array([rank for rank, _ in profile], dtype=np.intp)
+            amounts = np.array([amount for _, amount in profile], dtype=np.float64)
+            seconds = np.array(
+                [amount * self.cost_model.gamma for _, amount in profile],
+                dtype=np.float64,
+            )
+            entry = (ranks, amounts, seconds)
+            self._compiled_charges[profile] = entry
+        ranks, amounts, seconds = entry
+        self.clocks[ranks] += seconds
+        self.stats.flops[ranks] += amounts
+
+    def charge_memcpy(self, profile: tuple[tuple[int, float], ...]) -> None:
+        """Apply a fixed memcpy bill (``(rank, nbytes)`` pairs).
+
+        The memcpy analogue of :meth:`charge_compute`.
+        """
+        if self.cost_model.noise != 0.0 or self._dead_count:
+            self.charge(memcpy=profile)
+            return
+        entry = self._compiled_memcpys.get(profile)
+        if entry is None:
+            ranks = np.array([rank for rank, _ in profile], dtype=np.intp)
+            amounts = np.array([int(amount) for _, amount in profile], dtype=np.int64)
+            seconds = np.array(
+                [amount * self.cost_model.mu for _, amount in profile],
+                dtype=np.float64,
+            )
+            entry = (ranks, amounts, seconds)
+            self._compiled_memcpys[profile] = entry
+        ranks, amounts, seconds = entry
+        self.clocks[ranks] += seconds
+        self.stats.local_copy_bytes[ranks] += amounts
+
+    def compile_exchange(
+        self,
+        messages: Iterable[tuple[int, int, int, str, bool]],
+        piggyback: Iterable[tuple[int, int, int, str]] = (),
+    ) -> "CompiledExchange":
+        """Precompute the full effect of one fixed :meth:`exchange` phase.
+
+        For message lists that never change — an SpMV halo exchange, the
+        ASpMV redundancy phase — the per-message accounting (hop
+        lookups, cost-model evaluation, statistics bumps) is identical
+        every iteration.  This compiles it once into per-rank clock and
+        statistics deltas; :meth:`exchange_compiled` then applies them
+        in O(ranks) instead of O(messages).  Costs are accumulated at
+        compile time in exactly the per-message order of
+        :meth:`exchange`, so the resulting clocks are bit-identical.
+
+        The compiled form is only valid for this cluster's cost model
+        and topology (both immutable for a cluster's lifetime).
+        """
+        return CompiledExchange(self, tuple(messages), tuple(piggyback))
+
+    def exchange_compiled(self, compiled: "CompiledExchange") -> None:
+        """Apply a :meth:`compile_exchange` phase.
+
+        Equivalent — clocks, statistics, liveness errors, RNG draws —
+        to ``exchange(compiled.messages, compiled.piggyback)``.  Falls
+        back to the generic path when cost noise is enabled (every
+        message must draw from the RNG in order) or any involved node
+        is dead (to reproduce the partial-accounting-then-raise
+        semantics of the per-message loop exactly).
+        """
+        sends = compiled.sends
+        if not sends:
+            return
+        if self.cost_model.noise != 0.0 or self._dead_count:
+            self.exchange(compiled.messages, piggyback=compiled.piggyback)
+            return
+        clocks = self.clocks
+        finishes = {}
+        for src, total in sends:
+            finish = clocks[src] + total
+            clocks[src] = finish
+            finishes[src] = finish
+        for dst, srcs in compiled.arrivals:
+            latest = finishes[srcs[0]]
+            for src in srcs[1:]:
+                candidate = finishes[src]
+                if candidate > latest:
+                    latest = candidate
+            if latest > clocks[dst]:
+                clocks[dst] = latest
+        stats = self.stats
+        ranks = compiled.ranks
+        stats.bytes_sent[ranks] += compiled.sent_deltas
+        stats.bytes_received[ranks] += compiled.received_deltas
+        stats.messages_sent[ranks] += compiled.message_deltas
+        for channel, (total_bytes, count) in compiled.channel_deltas:
+            totals = stats.channels[channel]
+            totals.bytes += total_bytes
+            totals.messages += count
+
     def allreduce(self, nbytes: int, ranks: Iterable[int] | None = None) -> None:
         """Charge an allreduce across ``ranks`` (default: all alive nodes)."""
+        if ranks is None and not self._dead_count:
+            # Fast path: every node participates and none can raise.
+            if self.n_nodes <= 1:
+                return
+            cost = self._charge(self.cost_model.allreduce_time(nbytes, self.n_nodes))
+            clocks = self.clocks
+            clocks[:] = clocks.max() + cost
+            self.stats.record_collective(nbytes)
+            return
         group = tuple(ranks) if ranks is not None else self.alive_ranks()
         for rank in group:
             self.require_alive(rank)
@@ -291,6 +492,7 @@ class VirtualCluster:
             raise ClusterError("cannot fail every node in the cluster")
         for rank in failed:
             self.nodes[rank].wipe()
+        self._dead_count += len(failed)
         for vector in self._live_vectors():
             vector.wipe_blocks(failed)
         return failed
@@ -308,4 +510,95 @@ class VirtualCluster:
             if node.alive:
                 raise ClusterError(f"rank {rank} is alive; cannot replace it")
             node.revive()
+            self._dead_count -= 1
             self.clocks[rank] = now
+
+
+class CompiledExchange:
+    """Precompiled effect of one fixed concurrent communication phase.
+
+    Built by :meth:`VirtualCluster.compile_exchange` for message lists
+    that repeat every iteration.  Holds the original message tuples
+    (for the noise/failure fallback) plus the precomputed per-rank
+    clock and statistics deltas:
+
+    * ``sends`` — ``(src, total_cost)`` with the per-source message
+      costs accumulated in the exact per-message order of
+      :meth:`VirtualCluster.exchange` (floating-point order matters);
+    * ``arrivals`` — ``(dst, (src, ...))`` receiver dependencies;
+    * ``ranks`` / ``sent_deltas`` / ``received_deltas`` /
+      ``message_deltas`` — aligned arrays of exact integer statistics
+      bumps for the involved ranks;
+    * ``channel_deltas`` — ``(channel, (bytes, messages))`` bumps.
+    """
+
+    __slots__ = (
+        "messages",
+        "piggyback",
+        "sends",
+        "arrivals",
+        "channel_deltas",
+        "ranks",
+        "sent_deltas",
+        "received_deltas",
+        "message_deltas",
+    )
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        messages: tuple[tuple[int, int, int, str, bool], ...],
+        piggyback: tuple[tuple[int, int, int, str], ...],
+    ):
+        self.messages = messages
+        self.piggyback = piggyback
+        cost_model = cluster.cost_model
+        topology = cluster.topology
+
+        send_time: dict[int, float] = {}
+        arrivals: dict[int, list[int]] = {}
+        bytes_sent: dict[int, int] = {}
+        bytes_received: dict[int, int] = {}
+        message_counts: dict[int, int] = {}
+        channels: dict[str, list[int]] = {}
+
+        def add(src: int, dst: int, nbytes: int, channel: str, merged: bool) -> None:
+            if src == dst:
+                raise ClusterError(f"rank {src} cannot send to itself")
+            if merged:
+                cost = cost_model.payload_time(nbytes)
+            else:
+                cost = cost_model.message_time(nbytes, topology.hops(src, dst))
+                message_counts[src] = message_counts.get(src, 0) + 1
+            send_time[src] = send_time.get(src, 0.0) + cost
+            dst_sources = arrivals.setdefault(dst, [])
+            if src not in dst_sources:
+                dst_sources.append(src)
+            bytes_sent[src] = bytes_sent.get(src, 0) + int(nbytes)
+            bytes_received[dst] = bytes_received.get(dst, 0) + int(nbytes)
+            totals = channels.setdefault(channel, [0, 0])
+            totals[0] += int(nbytes)
+            if not merged:
+                totals[1] += 1
+
+        for src, dst, nbytes, channel, *rest in messages:
+            add(src, dst, nbytes, channel, bool(rest[0]) if rest else False)
+        for src, dst, nbytes, channel in piggyback:
+            add(src, dst, nbytes, channel, True)
+
+        self.sends = tuple(send_time.items())
+        self.arrivals = tuple((dst, tuple(srcs)) for dst, srcs in arrivals.items())
+        involved = sorted(set(bytes_sent) | set(bytes_received))
+        self.ranks = np.array(involved, dtype=np.intp)
+        self.sent_deltas = np.array(
+            [bytes_sent.get(rank, 0) for rank in involved], dtype=np.int64
+        )
+        self.received_deltas = np.array(
+            [bytes_received.get(rank, 0) for rank in involved], dtype=np.int64
+        )
+        self.message_deltas = np.array(
+            [message_counts.get(rank, 0) for rank in involved], dtype=np.int64
+        )
+        self.channel_deltas = tuple(
+            (channel, (totals[0], totals[1])) for channel, totals in channels.items()
+        )

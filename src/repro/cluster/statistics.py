@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 from collections import defaultdict
 
+import numpy as np
+
 
 @dataclasses.dataclass
 class ChannelTotals:
@@ -46,12 +48,16 @@ class ClusterStats:
 
     def __init__(self, n_nodes: int):
         self.n_nodes = int(n_nodes)
-        self.flops = [0.0] * self.n_nodes
-        self.bytes_sent = [0] * self.n_nodes
-        self.bytes_received = [0] * self.n_nodes
-        self.messages_sent = [0] * self.n_nodes
-        self.local_copy_bytes = [0] * self.n_nodes
-        self.redundancy_peak_bytes = [0] * self.n_nodes
+        #: Per-rank totals are numpy arrays so batched charges and
+        #: compiled exchanges can bump whole rank sets in one fused
+        #: operation (scalar indexing semantics are unchanged; integer
+        #: counters use exact int64 arithmetic).
+        self.flops = np.zeros(self.n_nodes, dtype=np.float64)
+        self.bytes_sent = np.zeros(self.n_nodes, dtype=np.int64)
+        self.bytes_received = np.zeros(self.n_nodes, dtype=np.int64)
+        self.messages_sent = np.zeros(self.n_nodes, dtype=np.int64)
+        self.local_copy_bytes = np.zeros(self.n_nodes, dtype=np.int64)
+        self.redundancy_peak_bytes = np.zeros(self.n_nodes, dtype=np.int64)
         self.channels: dict[str, ChannelTotals] = defaultdict(ChannelTotals)
 
     # -- recording -----------------------------------------------------------
@@ -72,9 +78,8 @@ class ClusterStats:
         self.channels[channel].add(nbytes, messages=0)
 
     def record_collective(self, nbytes: int, channel: str = "reduction") -> None:
-        for rank in range(self.n_nodes):
-            self.bytes_sent[rank] += int(nbytes)
-            self.bytes_received[rank] += int(nbytes)
+        self.bytes_sent += int(nbytes)
+        self.bytes_received += int(nbytes)
         self.channels[channel].add(nbytes * self.n_nodes, messages=self.n_nodes)
 
     def record_local_copy(self, rank: int, nbytes: int) -> None:

@@ -214,6 +214,15 @@ class RedundancyPlan:
                     transfers.append(self._make_transfer(src, dst, mask, lo, natural))
             self.extras.append([t for t in transfers if t.count > 0])
 
+        #: Fused-kernel cache (built lazily; see :meth:`flat_cache`).
+        self._flat_cache: FlatRedundancyCache | None = None
+
+    def flat_cache(self) -> "FlatRedundancyCache":
+        """Precomputed gather/stash/message caches for the fused ASpMV."""
+        if self._flat_cache is None:
+            self._flat_cache = FlatRedundancyCache(self)
+        return self._flat_cache
+
     @staticmethod
     def _make_transfer(
         src: int,
@@ -266,6 +275,79 @@ class RedundancyPlan:
         return 0 if lowest is None else lowest
 
 
+class FlatRedundancyCache:
+    """Index and message caches for the fused augmented product.
+
+    Mirrors the traversal order of the per-rank reference loop exactly
+    — for each source rank in ascending order: the non-empty natural
+    send descriptors, then the extra redundancy transfers — so that the
+    fused execution stashes the same pieces, charges the same message
+    phase and fills the same ghost entries, bit for bit.
+
+    * ``stash_gather`` — global indices whose single fused gather
+      ``packed = x_flat[stash_gather]`` yields every communicated piece
+      back to back;
+    * ``pieces`` — ``(dst, src, start, stop, global_indices)`` views
+      into ``packed``, one per stash the reference loop performs;
+    * ``messages`` / ``merged`` — the exchange's message and piggyback
+      payload lists (natural halo entries on the halo channel, extras
+      on the redundancy channel).
+    """
+
+    def __init__(self, redundancy: "RedundancyPlan"):
+        plan = redundancy.plan
+        gather_parts: list[np.ndarray] = []
+        pieces: list[tuple[int, int, int, int, np.ndarray]] = []
+        messages: list[tuple[int, int, int, str, bool]] = []
+        merged: list[tuple[int, int, int, str]] = []
+        offset = 0
+        for src in range(plan.n_nodes):
+            for descriptor in plan.sends[src]:
+                if descriptor.count == 0:
+                    continue
+                nbytes = descriptor.count * 8
+                messages.append((src, descriptor.dst, nbytes, HALO_CHANNEL, False))
+                gather_parts.append(descriptor.global_indices)
+                pieces.append(
+                    (
+                        descriptor.dst,
+                        src,
+                        offset,
+                        offset + descriptor.count,
+                        descriptor.global_indices,
+                    )
+                )
+                offset += descriptor.count
+            for transfer in redundancy.extras[src]:
+                nbytes = transfer.count * 8
+                if transfer.piggyback:
+                    merged.append((src, transfer.dst, nbytes, EXTRA_CHANNEL))
+                else:
+                    messages.append((src, transfer.dst, nbytes, EXTRA_CHANNEL, False))
+                gather_parts.append(transfer.global_indices)
+                pieces.append(
+                    (
+                        transfer.dst,
+                        src,
+                        offset,
+                        offset + transfer.count,
+                        transfer.global_indices,
+                    )
+                )
+                offset += transfer.count
+        self.stash_gather = (
+            np.concatenate(gather_parts).astype(np.int64)
+            if gather_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        self.pieces = tuple(pieces)
+        self.messages = tuple(messages)
+        self.merged = tuple(merged)
+        #: CompiledExchange for (messages, merged); built lazily by the
+        #: vectorized backend against the owning cluster.
+        self.compiled = None
+
+
 class ASpMVExecutor(SpMVExecutor):
     """SpMV that additionally materialises a redundant copy of ``p``.
 
@@ -308,49 +390,7 @@ class ASpMVExecutor(SpMVExecutor):
         """``out = A @ x`` while storing a redundant copy of ``x``."""
         if out is None:
             out = DistributedVector(self.matrix.cluster, self.matrix.partition)
-        cluster = self.cluster
-
-        # A rollback may re-execute a storage iteration: clear any stale
-        # stash for this iteration so re-pushes do not accumulate.
-        for node in cluster.nodes:
-            if node.alive:
-                node.drop_redundant(iteration)
-
-        # Natural halo exchange + redundancy extras: one concurrent
-        # phase, with stashing at the recipients.  Extras destined to a
-        # node that already receives a natural message ride along as
-        # merged payload (no extra start-up latency).
-        messages = []
-        merged = []
-        for src in range(self.plan.n_nodes):
-            for descriptor in self.plan.sends[src]:
-                if descriptor.count == 0:
-                    continue
-                values = x.blocks[src][descriptor.local_indices]
-                messages.append((src, descriptor.dst, values.nbytes, HALO_CHANNEL, False))
-                self._ghost_buffers[descriptor.dst][descriptor.ghost_positions] = values
-                cluster.node(descriptor.dst).stash_redundant(
-                    iteration, src, descriptor.global_indices, values
-                )
-            for transfer in self.redundancy.extras[src]:
-                values = x.blocks[src][transfer.local_indices]
-                if transfer.piggyback:
-                    merged.append((src, transfer.dst, values.nbytes, EXTRA_CHANNEL))
-                else:
-                    messages.append((src, transfer.dst, values.nbytes, EXTRA_CHANNEL, False))
-                cluster.node(transfer.dst).stash_redundant(
-                    iteration, src, transfer.global_indices, values
-                )
-        if messages or merged:
-            cluster.exchange(messages, piggyback=merged)
-
-        evicted = queue.push(iteration)
-        if evicted is not None:
-            for node in cluster.nodes:
-                if node.alive:
-                    node.drop_redundant(evicted)
-
-        self.local_multiply(x, out)
+        self.kernels.aspmv(self, x, iteration, queue, out)
         return out
 
 

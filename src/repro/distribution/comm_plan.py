@@ -117,6 +117,14 @@ class SpMVPlan:
             self.sends[src].append(descriptor)
             self.recvs[dst].append(descriptor)
 
+        # Fused-kernel caches (built lazily; see the accessors below).
+        self._flat_cache: FlatPlanCache | None = None
+        self._message_templates: dict[str, tuple] = {}
+        #: channel -> CompiledExchange (valid for the owning cluster;
+        #: a plan lives inside one DistributedMatrix, which binds it to
+        #: exactly one cluster).
+        self._compiled_exchanges: dict[str, object] = {}
+
     # ------------------------------------------------------------------ queries
 
     @property
@@ -149,3 +157,99 @@ class SpMVPlan:
     def total_halo_entries(self) -> int:
         """Total vector entries moved per SpMV (all node pairs)."""
         return sum(d.count for sends in self.sends for d in sends)
+
+    # --------------------------------------------------- fused-kernel caches
+
+    def flat_cache(self) -> "FlatPlanCache":
+        """Precomputed gather indices and the stacked operator.
+
+        Built once per plan on first use by the ``vectorized`` kernel
+        backend; see :class:`FlatPlanCache` for the invariants that make
+        the fused execution bit-identical to the per-rank loops.
+        """
+        if self._flat_cache is None:
+            self._flat_cache = FlatPlanCache(self)
+        return self._flat_cache
+
+    def message_template(self, channel: str) -> tuple:
+        """The halo exchange's message list, precomputed per channel.
+
+        Identical — same order, same ``(src, dst, nbytes, channel,
+        merged)`` tuples — to the list the per-rank loop assembles on
+        every call: for each source rank in ascending order, one entry
+        per non-empty send descriptor.
+        """
+        template = self._message_templates.get(channel)
+        if template is None:
+            template = tuple(
+                (src, d.dst, d.count * 8, channel, False)
+                for src in range(self.n_nodes)
+                for d in self.sends[src]
+                if d.count > 0
+            )
+            self._message_templates[channel] = template
+        return template
+
+
+class FlatPlanCache:
+    """Index/operator caches for the fused (vectorized) SpMV.
+
+    * ``ghost_offsets[r]`` — where rank ``r``'s ghost buffer begins in
+      the fused ghost array (rank-major, each buffer in sorted
+      ghost-index order, exactly like the per-rank buffers).
+    * ``ghost_gather`` — global indices such that
+      ``ghost_flat = x_flat[ghost_gather]`` fills every rank's ghost
+      buffer in one gather.  Each ghost entry has exactly one owner, so
+      this covers the fused buffer exactly once and yields the same
+      values the per-descriptor scatter produces.
+    * ``stacked_matrix`` — the ``(n, n + G)`` CSR operator whose rows
+      are the per-rank column-compressed row blocks with columns
+      remapped onto ``[x_flat | ghost_flat]``.  The per-row data order
+      of the local matrices is preserved, so
+      ``stacked_matrix @ concat(x_flat, ghost_flat)`` accumulates every
+      row in the same order as the per-rank products — bit-identical
+      results.
+    * ``local_flops`` — the per-rank SpMV bill ``(rank, 2 * nnz_r)``
+      for the batched :meth:`~repro.cluster.communicator.VirtualCluster.charge`.
+    """
+
+    def __init__(self, plan: SpMVPlan):
+        partition = plan.partition
+        n = partition.n
+        sizes = [int(g.size) for g in plan.ghost_globals]
+        self.ghost_offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self.total_ghosts = int(self.ghost_offsets[-1])
+        self.ghost_gather = (
+            np.concatenate(plan.ghost_globals)
+            if self.total_ghosts
+            else np.empty(0, dtype=np.int64)
+        ).astype(np.int64)
+
+        data_parts: list[np.ndarray] = []
+        index_parts: list[np.ndarray] = []
+        indptr_parts: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        running = 0
+        for rank, local in enumerate(plan.local_matrices):
+            lo, hi = partition.bounds(rank)
+            n_local = hi - lo
+            cols = local.indices.astype(np.int64)
+            remapped = np.where(
+                cols < n_local,
+                cols + lo,
+                cols - n_local + n + int(self.ghost_offsets[rank]),
+            )
+            data_parts.append(local.data)
+            index_parts.append(remapped)
+            indptr_parts.append(local.indptr[1:].astype(np.int64) + running)
+            running += int(local.indptr[-1])
+        self.stacked_matrix = sp.csr_matrix(
+            (
+                np.concatenate(data_parts) if data_parts else np.empty(0),
+                np.concatenate(index_parts) if index_parts else np.empty(0, dtype=np.int64),
+                np.concatenate(indptr_parts),
+            ),
+            shape=(n, n + self.total_ghosts),
+        )
+        self.local_flops = tuple(
+            (rank, 2 * int(nnz)) for rank, nnz in enumerate(plan.local_nnz)
+        )

@@ -47,6 +47,25 @@ class BlockRowPartition:
         self.offsets = offsets_arr
         self.n_nodes = int(offsets_arr.size - 1)
         self.n = int(offsets_arr[-1])
+        #: Cached per-rank billing profiles (see :meth:`charge_profile`).
+        self._charge_profiles: dict[float, tuple[tuple[int, float], ...]] = {}
+
+    def charge_profile(self, per_entry: float) -> tuple[tuple[int, float], ...]:
+        """Cached ``(rank, per_entry * block_size)`` pairs, rank ascending.
+
+        The analytic bill of one elementwise operation costing
+        ``per_entry`` flops (or bytes) per vector entry — what fused
+        kernels hand to :meth:`~repro.cluster.communicator.VirtualCluster.charge`
+        instead of billing inside a per-rank loop.
+        """
+        profile = self._charge_profiles.get(per_entry)
+        if profile is None:
+            profile = tuple(
+                (rank, per_entry * int(self.offsets[rank + 1] - self.offsets[rank]))
+                for rank in range(self.n_nodes)
+            )
+            self._charge_profiles[per_entry] = profile
+        return profile
 
     # ------------------------------------------------------------ constructors
 
@@ -152,6 +171,8 @@ class BlockRowPartition:
     # ----------------------------------------------------------------- plumbing
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, BlockRowPartition) and np.array_equal(
             self.offsets, other.offsets
         )

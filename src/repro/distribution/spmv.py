@@ -5,6 +5,13 @@ neighbours need (per the precomputed :class:`~repro.distribution.comm_plan.SpMVP
 the messages are charged to the virtual cluster, and each node then
 multiplies its column-compressed row block against
 ``[own block | ghost buffer]``.
+
+*How* the two phases execute is delegated to the cluster's
+compute-kernel backend (:mod:`repro.kernels`): the ``looped`` backend
+walks the send descriptors and node blocks one by one; the
+``vectorized`` backend performs the ghost fill as a single precomputed
+gather and the local products as one stacked CSR matvec, with the same
+messages charged and bit-identical results.
 """
 
 from __future__ import annotations
@@ -22,16 +29,46 @@ HALO_CHANNEL = "spmv_halo"
 class SpMVExecutor:
     """Executes the plain distributed SpMV for one matrix.
 
-    Reusable across iterations: ghost buffers are allocated once.
+    Reusable across iterations: the ghost buffers are allocated once as
+    one fused array (``_ghost_flat``) with per-rank views
+    (``_ghost_buffers``), so both kernel backends share the same
+    storage.
     """
 
     def __init__(self, matrix: DistributedMatrix):
         self.matrix = matrix
         self.cluster = matrix.cluster
         self.plan = matrix.plan
+        cache = self.plan.flat_cache()
+        self._ghost_flat = np.zeros(cache.total_ghosts, dtype=np.float64)
         self._ghost_buffers = [
-            np.zeros(g.size, dtype=np.float64) for g in self.plan.ghost_globals
+            self._ghost_flat[cache.ghost_offsets[rank] : cache.ghost_offsets[rank + 1]]
+            for rank in range(self.plan.n_nodes)
         ]
+        #: Reusable ``[x_flat | ghost_flat]`` input of the stacked matvec.
+        self._spmv_input = np.zeros(
+            self.matrix.partition.n + cache.total_ghosts, dtype=np.float64
+        )
+
+    @property
+    def kernels(self):
+        """The cluster's current compute-kernel backend."""
+        return self.cluster.kernels
+
+    def compiled_halo(self, channel: str):
+        """The halo exchange of ``channel`` as a precompiled phase.
+
+        Compiled once per (plan, channel) against the owning cluster's
+        cost model and topology; used by the vectorized backend to
+        declare the whole message phase analytically.
+        """
+        compiled = self.plan._compiled_exchanges.get(channel)
+        if compiled is None:
+            compiled = self.cluster.compile_exchange(
+                self.plan.message_template(channel)
+            )
+            self.plan._compiled_exchanges[channel] = compiled
+        return compiled
 
     # ------------------------------------------------------------------ phases
 
@@ -43,24 +80,11 @@ class SpMVExecutor:
         destination's ghost buffer.  All messages belong to one
         concurrent phase (charged via :meth:`VirtualCluster.exchange`).
         """
-        messages = []
-        for src in range(self.plan.n_nodes):
-            for descriptor in self.plan.sends[src]:
-                if descriptor.count == 0:
-                    continue
-                values = x.blocks[src][descriptor.local_indices]
-                messages.append((src, descriptor.dst, values.nbytes, channel, False))
-                self._ghost_buffers[descriptor.dst][descriptor.ghost_positions] = values
-        if messages:
-            self.cluster.exchange(messages)
+        self.kernels.halo_exchange(self, x, channel)
 
     def local_multiply(self, x: DistributedVector, out: DistributedVector) -> None:
         """Phase 2: per-node ``A_local @ [own | ghosts]`` with flop billing."""
-        for rank in range(self.plan.n_nodes):
-            local = self.plan.local_matrices[rank]
-            buf = np.concatenate([x.blocks[rank], self._ghost_buffers[rank]])
-            out.blocks[rank][:] = local @ buf
-            self.cluster.compute(rank, 2 * self.matrix.local_nnz(rank))
+        self.kernels.spmv_local(self, x, out)
 
     # ------------------------------------------------------------------ public
 

@@ -1,11 +1,15 @@
 """Distributed vectors under a block-row partition.
 
-A :class:`DistributedVector` owns one numpy block per node and routes
-every arithmetic operation through the
-:class:`~repro.cluster.communicator.VirtualCluster` so that computation
-and reduction costs are charged to the simulated clocks.  The numerics
-are *real*: dot products, axpys and norms operate on the actual data,
-node by node, exactly as the distributed algorithm would.
+A :class:`DistributedVector` owns one contiguous flat numpy array
+(``data``) whose per-node block *views* (``blocks``) realise the
+block-row distribution, and routes every arithmetic operation through
+the cluster's compute-kernel backend (:mod:`repro.kernels`) so that
+computation and reduction costs are charged to the simulated clocks.
+The numerics are *real*: dot products, axpys and norms operate on the
+actual data exactly as the distributed algorithm would — the ``looped``
+backend node by node, the ``vectorized`` backend as fused whole-array
+operations with analytically declared billing (bit-identical results
+either way; see :mod:`repro.kernels.base` for the contract).
 
 Vectors register themselves with the cluster: when nodes fail, their
 blocks are zeroed (the paper's failure simulation wipes all vector
@@ -19,7 +23,6 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..cluster.communicator import VirtualCluster
-from ..cluster.cost_model import BYTES_PER_FLOAT
 from ..exceptions import ConfigurationError
 from .partition import BlockRowPartition
 
@@ -40,18 +43,18 @@ class DistributedVector:
             )
         self.cluster = cluster
         self.partition = partition
-        if blocks is None:
-            self.blocks = [
-                np.zeros(partition.size_of(rank), dtype=np.float64)
-                for rank in range(partition.n_nodes)
-            ]
-        else:
+        #: Fused storage: one flat array; ``blocks`` are views into it.
+        self.data = np.zeros(partition.n, dtype=np.float64)
+        self.blocks = [
+            self.data[partition.bounds(rank)[0] : partition.bounds(rank)[1]]
+            for rank in range(partition.n_nodes)
+        ]
+        if blocks is not None:
             blocks = list(blocks)
             if len(blocks) != partition.n_nodes:
                 raise ConfigurationError(
                     f"expected {partition.n_nodes} blocks, got {len(blocks)}"
                 )
-            self.blocks = []
             for rank, block in enumerate(blocks):
                 block = np.asarray(block, dtype=np.float64)
                 if block.shape != (partition.size_of(rank),):
@@ -59,7 +62,7 @@ class DistributedVector:
                         f"block {rank} has shape {block.shape}, expected "
                         f"({partition.size_of(rank)},)"
                     )
-                self.blocks.append(block.copy())
+                self.blocks[rank][:] = block
         if register:
             cluster.register_vector(self)
 
@@ -79,11 +82,9 @@ class DistributedVector:
             raise ConfigurationError(
                 f"global vector has {values.size} entries, partition expects {partition.n}"
             )
-        blocks = [
-            values[partition.bounds(rank)[0] : partition.bounds(rank)[1]]
-            for rank in range(partition.n_nodes)
-        ]
-        return cls(cluster, partition, blocks, register=register)
+        vector = cls(cluster, partition, register=register)
+        vector.data[:] = values
+        return vector
 
     @classmethod
     def zeros_like(cls, other: "DistributedVector", register: bool = True) -> "DistributedVector":
@@ -91,7 +92,8 @@ class DistributedVector:
 
     def copy(self, charge: bool = False, register: bool = True) -> "DistributedVector":
         """Deep copy.  ``charge=True`` bills a local memcpy per node."""
-        clone = DistributedVector(self.cluster, self.partition, self.blocks, register=register)
+        clone = DistributedVector(self.cluster, self.partition, register=register)
+        clone.data[:] = self.data
         if charge:
             for rank, block in enumerate(self.blocks):
                 self.cluster.memcpy(rank, block.nbytes)
@@ -102,6 +104,11 @@ class DistributedVector:
     @property
     def n(self) -> int:
         return self.partition.n
+
+    @property
+    def kernels(self):
+        """The cluster's current compute-kernel backend."""
+        return self.cluster.kernels
 
     def block(self, rank: int) -> np.ndarray:
         """The local block owned by ``rank`` (a live view, not a copy)."""
@@ -122,11 +129,11 @@ class DistributedVector:
 
     def to_global(self) -> np.ndarray:
         """Gather into one numpy array.  Diagnostic only — never charged."""
-        return np.concatenate(self.blocks)
+        return self.data.copy()
 
     def get_global_entries(self, indices: np.ndarray) -> np.ndarray:
         """Read entries by global index.  Diagnostic only — never charged."""
-        return self.to_global()[np.asarray(indices, dtype=np.int64)]
+        return self.data[np.asarray(indices, dtype=np.int64)]
 
     # ------------------------------------------------------------- arithmetic
 
@@ -134,38 +141,32 @@ class DistributedVector:
         return range(self.partition.n_nodes)
 
     def fill(self, value: float) -> None:
-        for block in self.blocks:
-            block[:] = value
+        self.data[:] = value
 
     def axpy(self, a: float, x: "DistributedVector") -> None:
         """``self += a * x`` (2 flops per entry)."""
         self._check_compatible(x)
-        for rank in self._each_rank():
-            self.blocks[rank] += a * x.blocks[rank]
-            self.cluster.compute(rank, 2 * self.blocks[rank].size)
+        self.kernels.axpy(self, a, x)
 
     def aypx(self, a: float, x: "DistributedVector") -> None:
         """``self = x + a * self`` — the PCG update ``p = z + beta p``."""
         self._check_compatible(x)
-        for rank in self._each_rank():
-            block = self.blocks[rank]
-            np.multiply(block, a, out=block)
-            block += x.blocks[rank]
-            self.cluster.compute(rank, 2 * block.size)
+        self.kernels.aypx(self, a, x)
 
     def scale(self, a: float) -> None:
         """``self *= a`` (1 flop per entry)."""
-        for rank in self._each_rank():
-            self.blocks[rank] *= a
-            self.cluster.compute(rank, self.blocks[rank].size)
+        self.kernels.scale(self, a)
+
+    def subtract(self, a: "DistributedVector", b: "DistributedVector") -> None:
+        """``self = a - b`` (1 flop per entry) — e.g. ``r = b - A x``."""
+        self._check_compatible(a)
+        self._check_compatible(b)
+        self.kernels.subtract(self, a, b)
 
     def assign(self, other: "DistributedVector", charge: bool = True) -> None:
         """``self[:] = other`` blockwise; optionally bill the memcpy."""
         self._check_compatible(other)
-        for rank in self._each_rank():
-            self.blocks[rank][:] = other.blocks[rank]
-            if charge:
-                self.cluster.memcpy(rank, self.blocks[rank].nbytes)
+        self.kernels.assign(self, other, charge)
 
     def apply_blockwise(self, func: Callable[[int, np.ndarray], np.ndarray], flops_per_entry: float = 0.0) -> None:
         """In-place ``block <- func(rank, block)`` with optional flop billing."""
@@ -184,19 +185,14 @@ class DistributedVector:
         """Several dot products fused into a single allreduce.
 
         PCG needs ``r·z`` and ``‖r‖²`` in the same iteration; real codes
-        fuse them into one 16-byte allreduce, and so do we.
+        fuse them into one 16-byte allreduce, and so do we.  Partial
+        sums accumulate per node block in ascending rank order — that
+        order is part of the backend contract (every kernel backend
+        reproduces it bit for bit).
         """
-        partials = np.zeros(len(others), dtype=np.float64)
-        for k, other in enumerate(others):
+        for other in others:
             self._check_compatible(other)
-        for rank in self._each_rank():
-            flops = 0
-            for k, other in enumerate(others):
-                partials[k] += float(self.blocks[rank] @ other.blocks[rank])
-                flops += 2 * self.blocks[rank].size
-            self.cluster.compute(rank, flops)
-        self.cluster.allreduce(len(others) * BYTES_PER_FLOAT)
-        return [float(v) for v in partials]
+        return self.kernels.dot_many(self, others)
 
     def norm2(self) -> float:
         """Global 2-norm (one fused allreduce)."""

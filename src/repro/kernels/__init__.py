@@ -1,0 +1,71 @@
+"""Pluggable compute-kernel backends — numerics decoupled from accounting.
+
+Every solve executes the paper's distributed PCG through two separable
+concerns: the *numerics* (vector updates, SpMV data movement,
+preconditioner application) and the *accounting* (simulated per-node
+clocks, per-channel byte/message statistics, failure semantics).  This
+package separates them behind the :class:`KernelBackend` protocol:
+
+``looped``
+    The original per-rank reference semantics — every operation loops
+    over node blocks with charges incurred inside the loop, exactly as
+    a rank-per-process implementation behaves.  Kept for verification.
+``vectorized`` (the default)
+    Fused flat-array execution: each distributed vector is one
+    contiguous array with block views, the halo exchange is a single
+    precomputed gather, the block-row SpMV one stacked
+    ``scipy.sparse`` matvec, and per-rank billing is *declared
+    analytically* from the communication plan through the batched
+    :meth:`VirtualCluster.charge
+    <repro.cluster.communicator.VirtualCluster.charge>` API.
+
+The backend contract (full statement in :mod:`repro.kernels.base`):
+**bit-identical results and identical cluster accounting** — same
+:class:`~repro.cluster.statistics.ClusterStats`, same simulated clocks,
+same cost-noise RNG consumption — across backends, for every strategy
+and failure scenario.  ``tests/properties/test_backend_equivalence.py``
+enforces it; ``benchmarks/bench_kernels.py`` measures the speedup
+(``BENCH_kernels.json``).
+
+Selection and registration
+--------------------------
+
+Backends live in the :data:`repro.api.registry.KERNELS` registry; the
+built-ins are ordinary registrations and third-party backends join via
+:func:`repro.api.register_backend`::
+
+    from repro.api import register_backend
+    from repro.kernels import KernelBackend
+
+    @register_backend("my_backend")
+    class MyBackend(KernelBackend):
+        ...
+
+The backend is a property of the virtual cluster
+(``VirtualCluster(n, kernels="looped")``, reassignable at any time);
+the service layer selects it per session
+(``SolverSession(..., backend="looped")``) or per request
+(``SolveRequest(backend="looped")``), and campaign specs sweep it
+(``CampaignSpec(backends=("looped", "vectorized"))``) so stored records
+can A/B backends.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    DEFAULT_BACKEND,
+    KernelBackend,
+    available_backends,
+    resolve_backend,
+)
+from .looped import LoopedBackend
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "LoopedBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "resolve_backend",
+]

@@ -1,0 +1,169 @@
+"""The compute-kernel backend contract.
+
+A :class:`KernelBackend` executes the *numerics* of the hot path — the
+distributed vector arithmetic, the SpMV/ASpMV data movement, and the
+block-diagonal preconditioner application — while the *accounting*
+(simulated clocks, per-channel byte/message statistics, failure
+semantics) stays in the :class:`~repro.cluster.communicator.VirtualCluster`.
+
+The separation contract (what every backend must honour):
+
+* **Numerical equivalence** — the floating-point results must be
+  bit-identical to the ``looped`` reference backend.  In practice this
+  means: elementwise vector updates may be fused freely (the rounding
+  of ``y[i] += a * x[i]`` does not depend on how the loop is batched),
+  but *reductions must keep the reference accumulation order* (one
+  partial dot per node block, accumulated in ascending rank order) and
+  sparse matvecs must keep the per-row summation order of the per-node
+  local matrices.
+* **Accounting equivalence** — every backend must issue the *same
+  sequence* of cluster charges (``compute``/``memcpy``/``exchange``/
+  ``allreduce``) with the same arguments as the reference backend.
+  This keeps :class:`~repro.cluster.statistics.ClusterStats` and the
+  simulated clocks identical, including under a noisy
+  :class:`~repro.cluster.cost_model.CostModel` (the cost-noise RNG is
+  consumed in charge order).  The batched
+  :meth:`~repro.cluster.communicator.VirtualCluster.charge` API exists
+  so that a fused kernel can *declare* the per-rank bill analytically
+  (precomputed from the communication plan) instead of incurring it
+  inside a per-rank loop.
+* **Failure semantics** — charges validate node liveness; a backend
+  must charge a fused operation *before* touching the data so a dead
+  rank raises before (not halfway through) the update.
+
+Backends are stateless; per-(matrix, partition) index caches live on
+the :class:`~repro.distribution.comm_plan.SpMVPlan` /
+:class:`~repro.distribution.aspmv.RedundancyPlan` objects and
+per-preconditioner operator caches on the preconditioner itself, so
+one backend instance can serve any number of clusters and switching
+backends on a live session never recomputes a plan.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..api.registry import KERNELS
+from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..distribution.aspmv import ASpMVExecutor, SupportsPush
+    from ..distribution.spmv import SpMVExecutor
+    from ..distribution.vector import DistributedVector
+    from ..preconditioners.base import BlockDiagonalPreconditioner
+
+
+class KernelBackend(abc.ABC):
+    """Executes the numeric hot path of the distributed solver."""
+
+    #: Registered name (set by the built-ins; plugins should set it too).
+    name: str = "abstract"
+
+    # ------------------------------------------------------- vector arithmetic
+
+    @abc.abstractmethod
+    def axpy(self, y: "DistributedVector", a: float, x: "DistributedVector") -> None:
+        """``y += a * x`` (2 flops per entry, charged per rank)."""
+
+    @abc.abstractmethod
+    def aypx(self, y: "DistributedVector", a: float, x: "DistributedVector") -> None:
+        """``y = x + a * y`` (2 flops per entry, charged per rank)."""
+
+    @abc.abstractmethod
+    def scale(self, y: "DistributedVector", a: float) -> None:
+        """``y *= a`` (1 flop per entry, charged per rank)."""
+
+    @abc.abstractmethod
+    def subtract(
+        self,
+        y: "DistributedVector",
+        a: "DistributedVector",
+        b: "DistributedVector",
+    ) -> None:
+        """``y = a - b`` (1 flop per entry, charged per rank)."""
+
+    @abc.abstractmethod
+    def assign(
+        self, y: "DistributedVector", x: "DistributedVector", charge: bool
+    ) -> None:
+        """``y[:] = x`` blockwise; ``charge`` bills the local memcpy."""
+
+    @abc.abstractmethod
+    def dot_many(
+        self, x: "DistributedVector", others: Sequence["DistributedVector"]
+    ) -> list[float]:
+        """Fused dot products ``[x·o for o in others]`` + one allreduce.
+
+        The partial sums MUST be accumulated per node block in ascending
+        rank order — that accumulation order is part of the numerical
+        contract between backends.
+        """
+
+    # ----------------------------------------------------------------- SpMV
+
+    @abc.abstractmethod
+    def halo_exchange(
+        self, executor: "SpMVExecutor", x: "DistributedVector", channel: str
+    ) -> None:
+        """Move the ghost entries of ``x`` and charge the message phase."""
+
+    @abc.abstractmethod
+    def spmv_local(
+        self,
+        executor: "SpMVExecutor",
+        x: "DistributedVector",
+        out: "DistributedVector",
+    ) -> None:
+        """``out = A_local @ [own | ghosts]`` per node, with flop billing."""
+
+    @abc.abstractmethod
+    def aspmv(
+        self,
+        executor: "ASpMVExecutor",
+        x: "DistributedVector",
+        iteration: int,
+        queue: "SupportsPush",
+        out: "DistributedVector",
+    ) -> None:
+        """Augmented product: halo + redundancy stashing + local multiply."""
+
+    # -------------------------------------------------------- preconditioners
+
+    @abc.abstractmethod
+    def precond_apply(
+        self,
+        precond: "BlockDiagonalPreconditioner",
+        r: "DistributedVector",
+        out: "DistributedVector",
+    ) -> None:
+        """``out = P r`` for a node-aligned block-diagonal operator."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: The backend new clusters use unless told otherwise.
+DEFAULT_BACKEND = "vectorized"
+
+
+def resolve_backend(backend: "str | KernelBackend | None") -> KernelBackend:
+    """Materialise a backend from a registered name (or pass one through)."""
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, KernelBackend):
+        return backend
+    instance = KERNELS.create(backend)
+    if not isinstance(instance, KernelBackend):
+        raise ConfigurationError(
+            f"kernel backend {backend!r} built a {type(instance).__name__}, "
+            "expected a KernelBackend"
+        )
+    return instance
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names (built-ins + plugins)."""
+    return KERNELS.names()

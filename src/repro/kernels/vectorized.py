@@ -1,0 +1,159 @@
+"""The ``vectorized`` backend: fused flat-array numerics (the default).
+
+Every distributed vector is one contiguous flat array with per-node
+block views, so:
+
+* elementwise updates (axpy/aypx/scale/subtract/assign) run as a single
+  whole-array NumPy operation — elementwise rounding is independent of
+  loop batching, so the results equal the per-rank loop bit for bit;
+* the SpMV halo fill is one precomputed gather
+  (``ghost_flat = x_flat[ghost_gather]``) instead of one fancy-indexing
+  pass per send descriptor;
+* the per-node row-block products run as one stacked CSR matvec against
+  ``[x_flat | ghost_flat]`` (per-row data order preserved → identical
+  row sums);
+* dot products keep the *reference accumulation order* (one partial dot
+  per contiguous block view, accumulated in ascending rank order) —
+  fusing the reduction across block boundaries would change the
+  floating-point result, so only the billing is batched here;
+* all per-rank bills are declared analytically — precomputed
+  ``(rank, amount)`` profiles handed to the batched
+  :meth:`~repro.cluster.communicator.VirtualCluster.charge` API in the
+  same order the reference loop incurs them, which keeps clocks,
+  statistics and cost-noise RNG draws identical.
+
+Charges are issued *before* the fused numeric touches the data, so a
+dead rank raises before any block is updated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..api.registry import register_backend
+from ..cluster.cost_model import BYTES_PER_FLOAT
+from .base import KernelBackend
+from .looped import LoopedBackend
+
+#: Shared per-rank fallback (identical code path to the looped backend).
+_LOOPED = LoopedBackend()
+
+
+@register_backend("vectorized", aliases=("fused", "flat"))
+class VectorizedBackend(KernelBackend):
+    """Fused flat-array execution with analytically declared billing."""
+
+    name = "vectorized"
+
+    # ------------------------------------------------------- vector arithmetic
+
+    def axpy(self, y, a, x) -> None:
+        y.cluster.charge_compute(y.partition.charge_profile(2))
+        y.data += a * x.data
+
+    def aypx(self, y, a, x) -> None:
+        y.cluster.charge_compute(y.partition.charge_profile(2))
+        data = y.data
+        np.multiply(data, a, out=data)
+        data += x.data
+
+    def scale(self, y, a) -> None:
+        y.cluster.charge_compute(y.partition.charge_profile(1))
+        y.data *= a
+
+    def subtract(self, y, a, b) -> None:
+        y.cluster.charge_compute(y.partition.charge_profile(1))
+        np.subtract(a.data, b.data, out=y.data)
+
+    def assign(self, y, x, charge) -> None:
+        if charge:
+            y.cluster.charge_memcpy(y.partition.charge_profile(BYTES_PER_FLOAT))
+        y.data[:] = x.data
+
+    def dot_many(self, x, others: Sequence) -> list[float]:
+        cluster = x.cluster
+        x_blocks = x.blocks
+        # Reference accumulation order: per block view, rank ascending,
+        # using the same ``block @ block`` inner product as the looped
+        # backend.  (A whole-array dot would change the partial-sum
+        # structure and with it the low-order bits — see the contract.)
+        if len(others) == 1:
+            o_blocks = others[0].blocks
+            total = 0.0
+            for block, other in zip(x_blocks, o_blocks):
+                total += float(block @ other)
+            partials = [total]
+        else:
+            partials = [0.0] * len(others)
+            blocks_per_k = [other.blocks for other in others]
+            for rank, block in enumerate(x_blocks):
+                for k, o_blocks in enumerate(blocks_per_k):
+                    partials[k] += float(block @ o_blocks[rank])
+        cluster.charge_compute(x.partition.charge_profile(2 * len(others)))
+        cluster.allreduce(len(others) * BYTES_PER_FLOAT)
+        return partials
+
+    # ----------------------------------------------------------------- SpMV
+
+    def halo_exchange(self, executor, x, channel: str) -> None:
+        cache = executor.plan.flat_cache()
+        executor.cluster.exchange_compiled(executor.compiled_halo(channel))
+        if cache.total_ghosts:
+            executor._ghost_flat[:] = x.data[cache.ghost_gather]
+
+    def spmv_local(self, executor, x, out) -> None:
+        cache = executor.plan.flat_cache()
+        executor.cluster.charge_compute(cache.local_flops)
+        buf = executor._spmv_input
+        buf[: x.data.size] = x.data
+        buf[x.data.size :] = executor._ghost_flat
+        out.data[:] = cache.stacked_matrix @ buf
+
+    def aspmv(self, executor, x, iteration, queue, out) -> None:
+        cluster = executor.cluster
+        plan_cache = executor.plan.flat_cache()
+        cache = executor.redundancy.flat_cache()
+
+        # A rollback may re-execute a storage iteration: clear any stale
+        # stash for this iteration so re-pushes do not accumulate.
+        for node in cluster.nodes:
+            if node.alive:
+                node.drop_redundant(iteration)
+
+        # One fused gather materialises every communicated piece; the
+        # stashes are views into it (the reference loop stashes exactly
+        # these values, piece by piece, in the same order).
+        packed = x.data[cache.stash_gather]
+        for dst, src, start, stop, global_indices in cache.pieces:
+            cluster.node(dst).stash_redundant(
+                iteration, src, global_indices, packed[start:stop]
+            )
+        compiled = cache.compiled
+        if compiled is None:
+            compiled = cluster.compile_exchange(cache.messages, cache.merged)
+            cache.compiled = compiled
+        cluster.exchange_compiled(compiled)
+        if plan_cache.total_ghosts:
+            executor._ghost_flat[:] = x.data[plan_cache.ghost_gather]
+
+        evicted = queue.push(iteration)
+        if evicted is not None:
+            for node in cluster.nodes:
+                if node.alive:
+                    node.drop_redundant(evicted)
+
+        self.spmv_local(executor, x, out)
+
+    # -------------------------------------------------------- preconditioners
+
+    def precond_apply(self, precond, r, out) -> None:
+        flat = precond.flat_apply(r.data)
+        if flat is None:
+            # Operators without a fused form (e.g. per-block triangular
+            # solves) run the identical per-rank reference path.
+            _LOOPED.precond_apply(precond, r, out)
+            return
+        r.cluster.charge_compute(precond.charge_profile())
+        out.data[:] = flat

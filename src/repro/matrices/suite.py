@@ -155,6 +155,40 @@ def _audikw_like(scale: str, seed: int) -> tuple[sp.csr_matrix, tuple[int, int, 
     return matrix, grid, DOFS_PER_POINT
 
 
+#: Cube edge lengths of the plain Poisson benchmark problem.  The
+#: ``medium`` tier (n = 8000) is the kernel-backend benchmark's
+#: headline problem (``benchmarks/bench_kernels.py``).
+_POISSON3D_EDGES: dict[str, int] = {
+    "tiny": 8,
+    "small": 12,
+    "medium": 20,
+    "bench": 32,
+    "large": 44,
+}
+
+
+@register_matrix("poisson3d", aliases=("poisson",))
+def _poisson3d(scale: str, seed: int) -> tuple[sp.csr_matrix, tuple[int, int, int], int]:
+    """Plain 7-point 3-D Poisson cube — the classic kernel benchmark.
+
+    Unlike the paper stand-ins, this operator has no layered
+    coefficients or widened stencil: iteration counts stay modest, so
+    wall-clock measurements (e.g. looped- vs. vectorized-kernel
+    benches) probe the per-iteration hot path rather than convergence
+    behaviour.  ``seed`` is unused (the operator is deterministic) but
+    kept for the generator signature.
+    """
+    from .poisson import poisson_3d
+
+    edge = _POISSON3D_EDGES.get(scale)
+    if edge is None:
+        raise ConfigurationError(
+            f"unknown poisson3d scale {scale!r}; available: "
+            f"{', '.join(_POISSON3D_EDGES)}"
+        )
+    return poisson_3d(edge), (edge, edge, edge), 1
+
+
 def _widen_stencil(matrix: sp.csr_matrix, grid: tuple[int, int, int]) -> sp.csr_matrix:
     """Blend in a numerically negligible 27-point term.
 

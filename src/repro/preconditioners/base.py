@@ -52,6 +52,7 @@ class Preconditioner(abc.ABC):
         if self._matrix is matrix:
             return
         self._matrix = matrix
+        self._charge_profile: tuple[tuple[int, float], ...] | None = None
         self._setup_impl(matrix)
 
     @abc.abstractmethod
@@ -114,10 +115,36 @@ class BlockDiagonalPreconditioner(Preconditioner):
         """Flops of one local application (for clock charging)."""
 
     def apply(self, r: DistributedVector, out: DistributedVector) -> None:
-        cluster = self.matrix.cluster
-        for rank in range(self.matrix.partition.n_nodes):
-            out.blocks[rank][:] = self._apply_local(rank, r.blocks[rank])
-            cluster.compute(rank, self._apply_flops(rank))
+        """``out = P r``, executed by the cluster's kernel backend.
+
+        The ``looped`` backend applies :meth:`_apply_local` node by
+        node; the ``vectorized`` backend uses :meth:`flat_apply` when
+        the subclass provides one (falling back to the per-rank path
+        otherwise).  Billing is identical either way.
+        """
+        self.matrix.cluster.kernels.precond_apply(self, r, out)
+
+    def flat_apply(self, values: np.ndarray) -> np.ndarray | None:
+        """Fused ``P @ values`` on the full flat vector, or ``None``.
+
+        Subclasses whose action is expressible as one fused operation
+        (a stacked block-diagonal matvec, a diagonal scale) override
+        this; the result must be bit-identical to concatenating the
+        per-rank :meth:`_apply_local` outputs.  Returning ``None``
+        makes every backend use the per-rank reference path.
+        """
+        return None
+
+    def charge_profile(self) -> tuple[tuple[int, float], ...]:
+        """Cached ``(rank, flops)`` bill of one application (rank ascending)."""
+        profile = getattr(self, "_charge_profile", None)
+        if profile is None:
+            profile = tuple(
+                (rank, self._apply_flops(rank))
+                for rank in range(self.matrix.partition.n_nodes)
+            )
+            self._charge_profile = profile
+        return profile
 
     def solve_restricted(self, ranks: Iterable[int], v: np.ndarray) -> np.ndarray:
         ranks = tuple(sorted({int(r) for r in ranks}))

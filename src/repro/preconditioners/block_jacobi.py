@@ -88,9 +88,18 @@ class BlockJacobiPreconditioner(BlockDiagonalPreconditioner):
                 self._forward.append(sp.csr_matrix((0, 0)))
                 self._backward.append(sp.csr_matrix((0, 0)))
             self._flops.append(2.0 * self._forward[-1].nnz)
+        self._stacked: sp.csr_matrix | None = None
 
     def _apply_local(self, rank: int, values: np.ndarray) -> np.ndarray:
         return self._forward[rank] @ values
+
+    def flat_apply(self, values: np.ndarray) -> np.ndarray:
+        # One stacked block-diagonal matvec over all nodes.  Row entries
+        # stay in ascending column order, as in the per-rank operators,
+        # so the row sums are bit-identical to _apply_local.
+        if self._stacked is None:
+            self._stacked = sp.block_diag(self._forward, format="csr")
+        return self._stacked @ values
 
     def _apply_inverse_local(self, rank: int, values: np.ndarray) -> np.ndarray:
         return self._backward[rank] @ values

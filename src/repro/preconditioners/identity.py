@@ -19,6 +19,9 @@ class IdentityPreconditioner(BlockDiagonalPreconditioner):
     def _apply_local(self, rank: int, values: np.ndarray) -> np.ndarray:
         return values
 
+    def flat_apply(self, values: np.ndarray) -> np.ndarray:
+        return values
+
     def _apply_inverse_local(self, rank: int, values: np.ndarray) -> np.ndarray:
         return values
 

@@ -31,9 +31,13 @@ class JacobiPreconditioner(BlockDiagonalPreconditioner):
             for rank in range(partition.n_nodes)
         ]
         self._inv_blocks = [1.0 / d for d in self._diag_blocks]
+        self._inv_flat = np.concatenate(self._inv_blocks)
 
     def _apply_local(self, rank: int, values: np.ndarray) -> np.ndarray:
         return values * self._inv_blocks[rank]
+
+    def flat_apply(self, values: np.ndarray) -> np.ndarray:
+        return values * self._inv_flat
 
     def _apply_inverse_local(self, rank: int, values: np.ndarray) -> np.ndarray:
         return values * self._diag_blocks[rank]

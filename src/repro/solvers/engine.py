@@ -101,6 +101,8 @@ class SolveResult:
     stats: dict[str, float]
     residual_history: list[float]
     strategy: str
+    #: Name of the compute-kernel backend that executed the numerics.
+    backend: str = ""
 
     @property
     def wasted_iterations(self) -> int:
@@ -221,9 +223,7 @@ class PCGEngine:
 
         executor = SpMVExecutor(self.matrix)
         executor.multiply(x, out=rho)
-        for rank in range(partition.n_nodes):
-            r.blocks[rank][:] = self.b.blocks[rank] - rho.blocks[rank]
-            cluster.compute(rank, r.blocks[rank].size)
+        r.subtract(self.b, rho)
         self.preconditioner.apply(r, z)
         p.assign(z, charge=False)
 
@@ -357,6 +357,7 @@ class PCGEngine:
             stats=self.cluster.stats.summary(),
             residual_history=residual_history,
             strategy=self.strategy.name,
+            backend=self.cluster.kernels.name,
         )
         self.log.record(
             EventKind.SOLVE_END,

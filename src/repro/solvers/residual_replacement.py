@@ -66,11 +66,7 @@ class ResidualReplacer:
         """``r ← b − A x``; refresh ``z`` and ``rz`` (all charged)."""
         engine = self.engine
         self._executor.multiply(state.x, out=state.rho)
-        for rank in range(engine.partition.n_nodes):
-            state.r.blocks[rank][:] = (
-                engine.b.blocks[rank] - state.rho.blocks[rank]
-            )
-            engine.cluster.compute(rank, state.r.blocks[rank].size)
+        state.r.subtract(engine.b, state.rho)
         engine.preconditioner.apply(state.r, state.z)
         state.rz = state.r.dot(state.z)
         self.replacements += 1

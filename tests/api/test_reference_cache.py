@@ -1,0 +1,131 @@
+"""On-disk spooling of reference trajectories (``cache_dir``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.campaign import demo_spec, execute_campaign
+from repro.matrices import poisson_2d
+
+
+@pytest.fixture()
+def problem():
+    matrix = poisson_2d(8)
+    rng = np.random.default_rng(1)
+    b = matrix @ rng.standard_normal(matrix.shape[0])
+    return matrix, b
+
+
+def _session(problem, tmp_path, **kwargs):
+    matrix, b = problem
+    return repro.SolverSession(matrix, b, n_nodes=4, cache_dir=tmp_path, **kwargs)
+
+
+def test_second_session_loads_reference_from_disk(problem, tmp_path):
+    first = _session(problem, tmp_path)
+    trajectory = first.reference()
+    assert first.setup_events["reference"] == 1
+    assert list(tmp_path.glob("reference-*.npz"))
+
+    second = _session(problem, tmp_path)
+    loaded = second.reference()
+    assert second.setup_events["reference"] == 0
+    assert second.setup_events["reference_disk"] == 1
+    assert loaded.t0 == trajectory.t0
+    assert loaded.C == trajectory.C
+    np.testing.assert_array_equal(loaded.x, trajectory.x)
+
+
+def test_disk_hit_yields_identical_overhead_reports(problem, tmp_path):
+    request = repro.SolveRequest(
+        strategy="esrp", T=5, phi=1, failures=[repro.FailureEvent(10, (1,))]
+    )
+    fresh = _session(problem, tmp_path).solve(request, with_reference=True)
+    spooled = _session(problem, tmp_path).solve(request, with_reference=True)
+    assert fresh.total_overhead == spooled.total_overhead
+    assert fresh.solution_error == spooled.solution_error
+
+
+def test_cache_entries_are_keyed_by_problem(problem, tmp_path):
+    _session(problem, tmp_path).reference()
+
+    other_matrix = poisson_2d(8)
+    other_b = other_matrix @ np.full(other_matrix.shape[0], 2.0)
+    other = repro.SolverSession(other_matrix, other_b, n_nodes=4, cache_dir=tmp_path)
+    other.reference()
+    # Different right-hand side: its own entry, not a false hit.
+    assert other.setup_events["reference"] == 1
+    assert len(list(tmp_path.glob("reference-*.npz"))) == 2
+
+
+def test_cache_entries_are_keyed_by_request(problem, tmp_path):
+    session = _session(problem, tmp_path)
+    session.reference(rtol=1e-8)
+    session.reference(rtol=1e-6)
+    session.reference(preconditioner="jacobi")
+    assert session.setup_events["reference"] == 3
+    assert len(list(tmp_path.glob("reference-*.npz"))) == 3
+
+
+def test_corrupt_cache_entry_recomputes(problem, tmp_path):
+    first = _session(problem, tmp_path)
+    first.reference()
+    (entry,) = tmp_path.glob("reference-*.npz")
+    entry.write_bytes(b"not a npz file")
+
+    second = _session(problem, tmp_path)
+    second.reference()
+    assert second.setup_events["reference"] == 1
+    assert second.setup_events["reference_disk"] == 0
+    # The recompute repaired the entry for the next session.
+    third = _session(problem, tmp_path)
+    third.reference()
+    assert third.setup_events["reference_disk"] == 1
+
+
+def test_backends_share_cache_entries(problem, tmp_path):
+    """Bit-identical backends may share one spooled trajectory."""
+    _session(problem, tmp_path, backend="looped").reference()
+    vectorized = _session(problem, tmp_path, backend="vectorized")
+    vectorized.reference()
+    assert vectorized.setup_events["reference_disk"] == 1
+    assert len(list(tmp_path.glob("reference-*.npz"))) == 1
+
+
+def test_cache_dir_true_expands_to_default(problem, monkeypatch, tmp_path):
+    monkeypatch.setenv("HOME", str(tmp_path))
+    matrix, b = problem
+    session = repro.SolverSession(matrix, b, n_nodes=4, cache_dir=True)
+    assert session.cache_dir == tmp_path / ".cache" / "repro"
+
+
+def test_campaign_workers_share_spooled_references(tmp_path, monkeypatch):
+    import os
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    spec = demo_spec(scale="tiny", repetitions=1)
+    result = execute_campaign(spec, workers=0, cache_dir=tmp_path)
+    assert all(record.converged for record in result)
+    assert list(tmp_path.glob("reference-*.npz"))
+    # The spool directory must not leak into later campaigns.
+    assert "REPRO_CACHE_DIR" not in os.environ
+
+
+def test_cache_entries_are_keyed_by_topology(problem, tmp_path):
+    from repro.cluster import FatTree
+
+    matrix, b = problem
+    narrow = repro.SolverSession(
+        matrix, b, n_nodes=4, cache_dir=tmp_path, topology=FatTree(4, radix=2)
+    )
+    narrow.reference()
+    wide = repro.SolverSession(
+        matrix, b, n_nodes=4, cache_dir=tmp_path, topology=FatTree(4, radix=4)
+    )
+    wide.reference()
+    # Different wiring means different hop costs: no false cache hit.
+    assert wide.setup_events["reference"] == 1
+    assert wide.setup_events["reference_disk"] == 0
+    assert len(list(tmp_path.glob("reference-*.npz"))) == 2

@@ -1,0 +1,75 @@
+"""Session-level warm starts: ``SolveRequest(x0="previous")``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import ConfigurationError
+from repro.matrices import poisson_2d
+
+
+@pytest.fixture()
+def session():
+    matrix = poisson_2d(8)
+    rng = np.random.default_rng(0)
+    b = matrix @ rng.standard_normal(matrix.shape[0])
+    return repro.SolverSession(matrix, b, n_nodes=4)
+
+
+def test_request_validates_x0_values():
+    assert repro.SolveRequest(x0=None).x0 is None
+    assert repro.SolveRequest(x0="previous").x0 == "previous"
+    with pytest.raises(ConfigurationError):
+        repro.SolveRequest(x0="bogus")
+
+
+def test_x0_round_trips_through_json():
+    request = repro.SolveRequest(strategy="esr", x0="previous")
+    assert repro.SolveRequest.from_json(request.to_json()) == request
+
+
+def test_warm_start_reuses_previous_iterate(session):
+    cold = session.solve(repro.SolveRequest(strategy="esrp", T=5, phi=1))
+    warm = session.solve(
+        repro.SolveRequest(strategy="esrp", T=5, phi=1, x0="previous")
+    )
+    # Starting from the converged iterate, the solve re-converges
+    # immediately instead of re-walking the whole trajectory.
+    assert warm.converged
+    assert warm.iterations < cold.iterations
+    assert warm.relative_residual < 1e-8
+    np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
+
+
+def test_warm_start_without_previous_solve_raises(session):
+    with pytest.raises(ConfigurationError, match="previous solve"):
+        session.solve(repro.SolveRequest(strategy="esr", x0="previous"))
+
+
+def test_warm_start_conflicts_with_explicit_x0(session):
+    session.solve(repro.SolveRequest(strategy="esr"))
+    with pytest.raises(ConfigurationError, match="explicit x0"):
+        session.solve(
+            repro.SolveRequest(strategy="esr", x0="previous"),
+            x0=np.zeros(session.n),
+        )
+
+
+def test_reference_solves_do_not_feed_warm_starts(session):
+    """with_reference computes a baseline; it must not become x0."""
+    session.reference()
+    with pytest.raises(ConfigurationError, match="previous solve"):
+        session.solve(repro.SolveRequest(strategy="esr", x0="previous"))
+
+
+def test_warm_start_survives_failures(session):
+    session.solve(repro.SolveRequest(strategy="esrp", T=5, phi=1))
+    warm = session.solve(
+        repro.SolveRequest(
+            strategy="esrp", T=5, phi=1, x0="previous",
+            failures=[repro.FailureEvent(0, (1,))],
+        )
+    )
+    assert warm.converged

@@ -1,0 +1,122 @@
+"""The backend column: spec sweeps, record round-trips, A/B comparisons."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import (
+    CampaignResult,
+    CampaignRunRecord,
+    CampaignSpec,
+    ScenarioSpec,
+    execute_campaign,
+)
+from repro.campaign.spec import StrategySpec, demo_spec, expand_spec
+from repro.exceptions import ConfigurationError
+
+
+def _ab_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="ab",
+        problems=(("emilia_923_like", "tiny"),),
+        n_nodes=4,
+        strategies=(StrategySpec("esr"),),
+        phis=(1,),
+        scenarios=(ScenarioSpec.make("worst_case", location="start"),),
+        backends=("looped", "vectorized"),
+    )
+
+
+def test_spec_backends_round_trip():
+    spec = _ab_spec()
+    restored = CampaignSpec.from_dict(spec.to_dict())
+    assert restored.backends == ("looped", "vectorized")
+    assert restored == spec
+
+
+def test_spec_requires_a_backend():
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(demo_spec(), backends=())
+
+
+def test_expansion_sweeps_backends_with_shared_seeds():
+    runs = expand_spec(_ab_spec())
+    assert len(runs) == 2
+    by_backend = {run.backend: run for run in runs}
+    assert set(by_backend) == {"looped", "vectorized"}
+    # Distinct run ids, same derived seed: the A/B pair sees the same
+    # noise stream, so backend comparisons are bit-for-bit.
+    assert by_backend["looped"].run_id != by_backend["vectorized"].run_id
+    assert by_backend["looped"].seed == by_backend["vectorized"].seed
+    assert by_backend["looped"].run_id.endswith(":looped")
+
+
+def test_default_backend_keeps_historical_run_ids():
+    (run,) = expand_spec(dataclasses.replace(_ab_spec(), backends=("vectorized",)))
+    assert ":vectorized" not in run.run_id
+    assert run.run_id.endswith(":rep0")
+
+
+def test_record_round_trip_keeps_backend(tmp_path):
+    spec = _ab_spec()
+    result = execute_campaign(spec, workers=0)
+    assert sorted(r.backend for r in result) == ["looped", "vectorized"]
+
+    json_path = result.to_json(tmp_path / "ab.json")
+    restored = CampaignResult.from_json(json_path)
+    assert sorted(r.backend for r in restored) == ["looped", "vectorized"]
+
+    csv_path = result.to_csv(tmp_path / "ab.csv")
+    from_csv = CampaignResult.from_csv(csv_path)
+    assert sorted(r.backend for r in from_csv) == ["looped", "vectorized"]
+
+
+def test_legacy_records_load_with_default_backend():
+    payload = {
+        "run_id": "x", "problem": "p", "scale": "tiny", "n_nodes": 4,
+        "preconditioner": "block_jacobi", "strategy": "esr", "T": 1, "phi": 1,
+        "scenario_kind": "failure_free", "scenario_params": {}, "repetition": 0,
+        "seed": 0, "converged": True, "iterations": 10,
+        "executed_iterations": 10, "relative_residual": 1e-9,
+        "modeled_time": 1.0, "recovery_time": 0.0, "wall_time": 0.1,
+        "reference_time": 1.0, "reference_iterations": 10,
+        "total_overhead": 0.0, "recovery_overhead": 0.0, "n_failures": 0,
+        "failure_iterations": (), "solution_error": 0.0,
+    }
+    record = CampaignRunRecord.from_dict(payload)
+    assert record.backend == "vectorized"
+
+
+def test_ab_campaign_backends_agree_cell_by_cell():
+    result = execute_campaign(_ab_spec(), workers=0)
+    rows = {row["backend"]: row for row in result.overhead_rows()}
+    assert rows["looped"]["total_overhead"] == rows["vectorized"]["total_overhead"]
+    assert (
+        rows["looped"]["recovery_overhead"] == rows["vectorized"]["recovery_overhead"]
+    )
+
+
+def test_compare_communication_deltas():
+    result = execute_campaign(_ab_spec(), workers=0)
+    rows = result.compare_communication(result)
+    assert rows
+    channels = {row["channel"] for row in rows}
+    assert "spmv_halo" in channels
+    for row in rows:
+        assert row["delta_bytes"] == 0
+        assert row["delta_messages"] == 0
+        assert row["rel_bytes"] == 0 or row["rel_bytes"] is None
+    # Rendered A/B report mentions the channels and backend labels.
+    text = result.render_communication_comparison(result)
+    assert "spmv_halo" in text
+    assert "[looped]" in text and "[vectorized]" in text
+
+
+def test_overhead_comparison_matches_on_backend():
+    result = execute_campaign(_ab_spec(), workers=0)
+    rows = result.compare(result)
+    assert {row["backend"] for row in rows} == {"looped", "vectorized"}
+    for row in rows:
+        assert row["delta_total_overhead"] == 0

@@ -22,7 +22,7 @@ class TestChannels:
     def test_collective_touches_all_nodes(self):
         stats = ClusterStats(3)
         stats.record_collective(8)
-        assert stats.bytes_sent == [8, 8, 8]
+        assert list(stats.bytes_sent) == [8, 8, 8]
         assert stats.channels["reduction"].bytes == 24
 
     def test_total_bytes_by_channel(self):

@@ -1,0 +1,318 @@
+"""Unit tests of the compute-kernel backend layer.
+
+The backend contract (see :mod:`repro.kernels.base`) demands
+bit-identical numerics *and* identical accounting — clocks, per-channel
+statistics, cost-noise RNG consumption — between ``looped`` and
+``vectorized``.  These tests check each kernel in isolation; the
+end-to-end enforcement lives in
+``tests/properties/test_backend_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.registry import KERNELS
+from repro.cluster import CostModel, VirtualCluster, zero_cost_model
+from repro.core.redundancy import RedundancyQueue
+from repro.distribution import (
+    ASpMVExecutor,
+    BlockRowPartition,
+    DistributedMatrix,
+    DistributedVector,
+    SpMVExecutor,
+)
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    KernelBackend,
+    LoopedBackend,
+    VectorizedBackend,
+    available_backends,
+    resolve_backend,
+)
+from repro.matrices import poisson_2d
+from repro.preconditioners import make_preconditioner
+
+from ..conftest import make_distributed, random_vector
+
+NOISY = CostModel(alpha=1e-6, beta=1e-9, gamma=1e-9, mu=1e-11, noise=0.1)
+
+
+# ---------------------------------------------------------------------------
+# registry and resolution
+# ---------------------------------------------------------------------------
+
+
+def test_builtin_backends_registered():
+    assert "looped" in available_backends()
+    assert "vectorized" in available_backends()
+    assert DEFAULT_BACKEND == "vectorized"
+
+
+def test_resolve_backend_names_aliases_and_instances():
+    assert isinstance(resolve_backend("looped"), LoopedBackend)
+    assert isinstance(resolve_backend("vectorized"), VectorizedBackend)
+    assert isinstance(resolve_backend("fused"), VectorizedBackend)  # alias
+    assert isinstance(resolve_backend(None), VectorizedBackend)  # default
+    instance = LoopedBackend()
+    assert resolve_backend(instance) is instance
+
+
+def test_cluster_default_backend_and_switching():
+    cluster = VirtualCluster(4, cost_model=zero_cost_model())
+    assert cluster.kernels.name == "vectorized"
+    cluster.kernels = "looped"
+    assert cluster.kernels.name == "looped"
+    cluster.reset()
+    assert cluster.kernels.name == "looped"  # reset keeps the backend
+
+
+def test_register_backend_plugin_roundtrip():
+    @repro.register_backend("unit_test_backend")
+    class _Plugin(LoopedBackend):
+        name = "unit_test_backend"
+
+    try:
+        cluster = VirtualCluster(2, kernels="unit_test_backend")
+        assert cluster.kernels.name == "unit_test_backend"
+    finally:
+        KERNELS.unregister("unit_test_backend")
+    assert "unit_test_backend" not in available_backends()
+
+
+def test_request_override_is_scoped_on_adopted_clusters():
+    """A per-request backend override must not rebind an adopted cluster."""
+    matrix = poisson_2d(8)
+    rng = np.random.default_rng(2)
+    b = matrix @ rng.standard_normal(matrix.shape[0])
+    cluster = VirtualCluster(4, kernels="looped")
+    session = repro.SolverSession(matrix, b, cluster=cluster)
+    report = session.solve(repro.SolveRequest(strategy="esr", backend="vectorized"))
+    assert report.backend == "vectorized"
+    assert cluster.kernels.name == "looped"  # caller's choice restored
+    assert session.solve(repro.SolveRequest(strategy="esr")).backend == "looped"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(repro.ConfigurationError):
+        resolve_backend("no_such_backend")
+    with pytest.raises(repro.ConfigurationError):
+        repro.SolveRequest(backend="no_such_backend")
+
+
+# ---------------------------------------------------------------------------
+# batched charge API
+# ---------------------------------------------------------------------------
+
+
+def test_batched_charge_equals_individual_calls_under_noise():
+    a = VirtualCluster(4, cost_model=NOISY, seed=123)
+    b = VirtualCluster(4, cost_model=NOISY, seed=123)
+
+    for rank, flops in [(0, 100), (1, 250), (2, 10), (3, 77)]:
+        a.compute(rank, flops)
+    for rank, nbytes in [(1, 4096), (3, 64)]:
+        a.memcpy(rank, nbytes)
+
+    b.charge(
+        compute=[(0, 100), (1, 250), (2, 10), (3, 77)],
+        memcpy=[(1, 4096), (3, 64)],
+    )
+
+    np.testing.assert_array_equal(a.clocks, b.clocks)
+    assert a.stats.summary() == b.stats.summary()
+    # RNG streams consumed identically: the next draw matches.
+    assert a.rng.random() == b.rng.random()
+
+
+def test_charge_validates_liveness():
+    cluster = VirtualCluster(4, cost_model=zero_cost_model())
+    cluster.fail([2])
+    with pytest.raises(repro.DeadNodeError):
+        cluster.charge(compute=[(0, 1.0), (2, 1.0)])
+
+
+# ---------------------------------------------------------------------------
+# kernel-by-kernel equivalence
+# ---------------------------------------------------------------------------
+
+
+def _pair(n_nodes=4, n=64, cost_model=None, seed=9):
+    """Two identical (cluster, partition, matrix) stacks, one per backend."""
+    matrix = poisson_2d(8)
+    stacks = []
+    for backend in ("looped", "vectorized"):
+        cluster = VirtualCluster(
+            n_nodes, cost_model=cost_model or NOISY, seed=seed, kernels=backend
+        )
+        partition = BlockRowPartition.uniform(matrix.shape[0], n_nodes)
+        dmatrix = DistributedMatrix(cluster, partition, matrix)
+        stacks.append((cluster, partition, dmatrix))
+    return stacks
+
+
+def _assert_cluster_equal(a: VirtualCluster, b: VirtualCluster):
+    np.testing.assert_array_equal(a.clocks, b.clocks)
+    assert a.stats.summary() == b.stats.summary()
+
+
+@pytest.mark.parametrize(
+    "op",
+    ["axpy", "aypx", "scale", "subtract", "assign", "dot_many", "fill"],
+)
+def test_vector_ops_bit_identical(op):
+    (cl_l, part_l, _), (cl_v, part_v, _) = _pair()
+    rng = np.random.default_rng(3)
+    base = rng.standard_normal(part_l.n)
+    other = rng.standard_normal(part_l.n)
+
+    results = []
+    for cluster, partition in ((cl_l, part_l), (cl_v, part_v)):
+        y = DistributedVector.from_global(cluster, partition, base)
+        x = DistributedVector.from_global(cluster, partition, other)
+        value = None
+        if op == "axpy":
+            y.axpy(0.37, x)
+        elif op == "aypx":
+            y.aypx(-1.25, x)
+        elif op == "scale":
+            y.scale(3.5)
+        elif op == "subtract":
+            z = DistributedVector(cluster, partition)
+            z.subtract(y, x)
+            y = z
+        elif op == "assign":
+            y.assign(x, charge=True)
+        elif op == "dot_many":
+            value = y.dot_many([x, y])
+        elif op == "fill":
+            y.fill(1.5)
+        results.append((y.to_global(), value))
+
+    (data_l, val_l), (data_v, val_v) = results
+    np.testing.assert_array_equal(data_l, data_v)
+    assert val_l == val_v
+    _assert_cluster_equal(cl_l, cl_v)
+
+
+def test_vector_blocks_are_views_of_flat_data():
+    cluster = VirtualCluster(4, cost_model=zero_cost_model())
+    partition = BlockRowPartition.uniform(64, 4)
+    vec = DistributedVector.from_global(cluster, partition, np.arange(64.0))
+    assert vec.data.flags["C_CONTIGUOUS"]
+    vec.blocks[2][0] = -1.0
+    assert vec.data[partition.bounds(2)[0]] == -1.0
+    vec.data[:] = 0.0
+    assert all(float(block.sum()) == 0.0 for block in vec.blocks)
+
+
+def test_spmv_bit_identical_and_same_accounting():
+    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair()
+    x = random_vector(part_l.n, seed=11)
+
+    out_l = SpMVExecutor(m_l).multiply(
+        DistributedVector.from_global(cl_l, part_l, x)
+    )
+    out_v = SpMVExecutor(m_v).multiply(
+        DistributedVector.from_global(cl_v, part_v, x)
+    )
+
+    np.testing.assert_array_equal(out_l.to_global(), out_v.to_global())
+    _assert_cluster_equal(cl_l, cl_v)
+
+
+def test_spmv_matches_direct_product():
+    matrix = poisson_2d(8)
+    cluster, partition, dmatrix = make_distributed(matrix, n_nodes=4)
+    x = random_vector(partition.n, seed=5)
+    out = SpMVExecutor(dmatrix).multiply(
+        DistributedVector.from_global(cluster, partition, x)
+    )
+    np.testing.assert_allclose(out.to_global(), matrix @ x, rtol=1e-13)
+
+
+def test_aspmv_bit_identical_including_stashes():
+    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair()
+    x = random_vector(part_l.n, seed=21)
+    outs = []
+    for cluster, partition, dmatrix in ((cl_l, part_l, m_l), (cl_v, part_v, m_v)):
+        executor = ASpMVExecutor(dmatrix, phi=2)
+        queue = RedundancyQueue(capacity=2)
+        vec = DistributedVector.from_global(cluster, partition, x)
+        out = executor.multiply_augmented(vec, iteration=7, queue=queue)
+        outs.append(out.to_global())
+    np.testing.assert_array_equal(outs[0], outs[1])
+    _assert_cluster_equal(cl_l, cl_v)
+
+    # The redundancy stores hold the same pieces on every node.
+    for node_l, node_v in zip(cl_l.nodes, cl_v.nodes):
+        assert node_l.redundancy.keys() == node_v.redundancy.keys()
+        for iteration in node_l.redundancy:
+            per_l = node_l.redundancy[iteration]
+            per_v = node_v.redundancy[iteration]
+            assert per_l.keys() == per_v.keys()
+            for owner in per_l:
+                np.testing.assert_array_equal(per_l[owner][0], per_v[owner][0])
+                np.testing.assert_array_equal(per_l[owner][1], per_v[owner][1])
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["identity", "jacobi", "block_jacobi", "block_ssor", "block_ichol"],
+)
+def test_preconditioner_apply_bit_identical(name):
+    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair()
+    r_values = random_vector(part_l.n, seed=13)
+    outs = []
+    for cluster, partition, dmatrix in ((cl_l, part_l, m_l), (cl_v, part_v, m_v)):
+        precond = make_preconditioner(name)
+        precond.setup(dmatrix)
+        r = DistributedVector.from_global(cluster, partition, r_values)
+        out = DistributedVector(cluster, partition)
+        precond.apply(r, out)
+        outs.append(out.to_global())
+    np.testing.assert_array_equal(outs[0], outs[1])
+    _assert_cluster_equal(cl_l, cl_v)
+
+
+def test_flat_apply_matches_blockwise_apply():
+    matrix = poisson_2d(8)
+    _, partition, dmatrix = make_distributed(matrix, n_nodes=4)
+    values = random_vector(partition.n, seed=17)
+    for name in ("identity", "jacobi", "block_jacobi"):
+        precond = make_preconditioner(name)
+        precond.setup(dmatrix)
+        flat = precond.flat_apply(values)
+        assert flat is not None
+        blockwise = np.concatenate(
+            [
+                precond._apply_local(
+                    rank, values[partition.bounds(rank)[0] : partition.bounds(rank)[1]]
+                )
+                for rank in range(partition.n_nodes)
+            ]
+        )
+        np.testing.assert_array_equal(flat, blockwise)
+
+
+def test_triangular_preconditioners_have_no_flat_path():
+    matrix = poisson_2d(8)
+    _, partition, dmatrix = make_distributed(matrix, n_nodes=4)
+    for name in ("block_ssor", "block_ichol"):
+        precond = make_preconditioner(name)
+        precond.setup(dmatrix)
+        assert precond.flat_apply(np.zeros(partition.n)) is None
+
+
+def test_stacked_spmv_cache_shape_and_reuse():
+    matrix = poisson_2d(8)
+    _, partition, dmatrix = make_distributed(matrix, n_nodes=4)
+    cache = dmatrix.plan.flat_cache()
+    assert cache.stacked_matrix.shape == (partition.n, partition.n + cache.total_ghosts)
+    assert cache.stacked_matrix.nnz == matrix.nnz
+    assert dmatrix.plan.flat_cache() is cache  # built once
+    template = dmatrix.plan.message_template("spmv_halo")
+    assert dmatrix.plan.message_template("spmv_halo") is template
+    assert all(entry[3] == "spmv_halo" for entry in template)
