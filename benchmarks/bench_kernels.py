@@ -34,12 +34,16 @@ from repro.matrices import suite
 
 DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
-#: (scale, n_nodes) cells of the full sweep; medium is the gate.
+#: (scale, n_nodes) cells of the full sweep; medium is the gate.  The
+#: ``large`` cell (44³ = 85 184 unknowns) probes the memory-bound
+#: regime where the stacked matvec used to reallocate its output every
+#: iteration (the speedup floor the in-place ``csr_matvec`` path lifts).
 CELLS = (
     ("tiny", 8),
     ("small", 16),
     ("medium", 32),
     ("bench", 32),
+    ("large", 32),
 )
 HEADLINE_SCALE = "medium"
 SPEEDUP_THRESHOLD = 3.0

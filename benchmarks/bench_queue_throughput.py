@@ -1,0 +1,200 @@
+"""Queue-throughput benchmark: tasks/sec scaling from 1 to 8 workers.
+
+Submits one reference sweep (tiny Emilia-like campaign) to a fresh
+on-disk queue per worker count, drains it with N independent
+``repro campaign worker`` subprocesses, and records tasks/sec into
+``BENCH_queue.json``.  Every configuration's collected result must be
+byte-identical to the single-worker one — the determinism contract of
+:mod:`repro.queue` — which doubles as the benchmark's correctness
+gate.
+
+The acceptance gate (``--check``) is host-aware: on a multi-core host
+the 2-worker configuration must reach >= 1.15x the single-worker
+throughput; on a single-core host (where no parallel speedup is
+physically available — the solves are CPU-bound) it must stay within
+2x of it, i.e. the coordination overhead of leases/heartbeats/spools
+is bounded rather than the parallelism rewarded.  Smoke mode gates
+only on completeness + byte-identity.
+
+Usage::
+
+    python benchmarks/bench_queue_throughput.py            # full sweep
+    python benchmarks/bench_queue_throughput.py --check    # + enforce gate
+    python benchmarks/bench_queue_throughput.py --smoke    # CI sanity run
+    python benchmarks/bench_queue_throughput.py --out other.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.campaign import CampaignSpec, demo_spec  # noqa: E402
+from repro.queue import QueueStore, collect  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_queue.json"
+WORKER_COUNTS = (1, 2, 4, 8)
+SMOKE_WORKER_COUNTS = (1, 2)
+#: Required 2-worker speedup when the host has >= 2 cores.
+SCALING_THRESHOLD = 1.15
+#: Allowed 2-worker *slowdown* floor on a single-core host (pure
+#: coordination-overhead bound; there is no parallelism to win).
+SINGLE_CORE_FLOOR = 0.5
+
+
+def bench_spec(repetitions: int) -> CampaignSpec:
+    """The reference sweep: the built-in demo (12 cells) x repetitions."""
+    import dataclasses
+
+    return dataclasses.replace(
+        demo_spec(scale="tiny"),
+        name="queue-throughput",
+        repetitions=repetitions,
+    )
+
+
+def _spawn_worker(
+    queue_dir: pathlib.Path, index: int, cache_dir: pathlib.Path
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "worker",
+            "--queue", str(queue_dir), "--id", f"bench-w{index}", "--quiet",
+            "--cache-dir", str(cache_dir),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+
+def bench_workers(spec: CampaignSpec, workers: int, scratch: pathlib.Path) -> dict:
+    queue_dir = scratch / f"queue-{workers}w"
+    store = QueueStore.submit(spec, queue_dir)
+    # Workers share reference trajectories through a disk cache (the
+    # same contract as `campaign run --cache-dir`), so the sweep
+    # measures task throughput, not N redundant reference solves.
+    cache_dir = scratch / f"cache-{workers}w"
+    started = time.perf_counter()
+    procs = [_spawn_worker(queue_dir, i, cache_dir) for i in range(workers)]
+    for proc in procs:
+        _, stderr = proc.communicate()
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"worker exited with {proc.returncode}: {stderr.decode()}"
+            )
+    elapsed = time.perf_counter() - started
+    status = store.status()
+    if not status.drained or status.failed:
+        raise RuntimeError(f"queue not cleanly drained: {status.render()}")
+    result_path = scratch / f"result-{workers}w.json"
+    collect(queue_dir).to_json(result_path)
+    return {
+        "workers": workers,
+        "tasks": store.n_tasks,
+        "seconds": elapsed,
+        "tasks_per_sec": store.n_tasks / elapsed,
+        "result_path": result_path,
+    }
+
+
+def run(worker_counts, repetitions: int) -> dict:
+    spec = bench_spec(repetitions)
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-queue-") as scratch_name:
+        scratch = pathlib.Path(scratch_name)
+        baseline_bytes = None
+        for workers in worker_counts:
+            row = bench_workers(spec, workers, scratch)
+            payload = row.pop("result_path").read_bytes()
+            if baseline_bytes is None:
+                baseline_bytes = payload
+            row["result_identical"] = payload == baseline_bytes
+            base_rate = rows[0]["tasks_per_sec"] if rows else row["tasks_per_sec"]
+            row["scaling_vs_1"] = row["tasks_per_sec"] / base_rate
+            rows.append(row)
+            print(
+                f"{row['workers']} worker(s): {row['tasks']} tasks in "
+                f"{row['seconds']:6.2f}s  {row['tasks_per_sec']:6.1f} tasks/s  "
+                f"scaling {row['scaling_vs_1']:.2f}x  "
+                f"{'OK' if row['result_identical'] else 'RESULT MISMATCH'}",
+                flush=True,
+            )
+    two = next((r for r in rows if r["workers"] == 2), None)
+    cores = os.cpu_count() or 1
+    return {
+        "benchmark": "durable queue: worker-count throughput scaling",
+        "sweep": f"{spec.name} ({rows[0]['tasks']} tiny-problem tasks)",
+        "metric": "tasks/sec over submit->drain wall-clock (worker subprocesses)",
+        "cpu_count": cores,
+        "results": rows,
+        "headline": {
+            "workers": 2,
+            "scaling": two["scaling_vs_1"] if two else None,
+            "threshold": SCALING_THRESHOLD if cores >= 2 else SINGLE_CORE_FLOOR,
+            "multi_core": cores >= 2,
+            "all_results_identical": all(r["result_identical"] for r in rows),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default: {DEFAULT_OUT.name})")
+    parser.add_argument("--repetitions", type=int, default=16,
+                        help="repetitions per sweep cell (16 -> 192 tasks)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep, 1/2 workers only (CI sanity run)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless drained + byte-identical "
+                        f"(+ 2-worker scaling >= {SCALING_THRESHOLD}x outside "
+                        "--smoke)")
+    args = parser.parse_args(argv)
+
+    counts = SMOKE_WORKER_COUNTS if args.smoke else WORKER_COUNTS
+    repetitions = 2 if args.smoke else args.repetitions
+    payload = run(counts, repetitions)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        headline = payload["headline"]
+        if not headline["all_results_identical"]:
+            print("FAIL: collected results differ across worker counts",
+                  file=sys.stderr)
+            return 1
+        if not args.smoke:
+            threshold = headline["threshold"]
+            kind = "scaling" if headline["multi_core"] else "overhead floor"
+            if headline["scaling"] is None or headline["scaling"] < threshold:
+                print(
+                    f"FAIL: 2-worker {kind} {headline['scaling']} < "
+                    f"{threshold}x (cpu_count={payload['cpu_count']})",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"check passed: drained, byte-identical, 2-worker {kind} "
+                  f"{headline['scaling']:.2f}x >= {threshold}x "
+                  f"(cpu_count={payload['cpu_count']})")
+        else:
+            print("check passed: drained, byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,10 @@ Pipeline
 2. :func:`expand_spec` — deterministic, duplicate-free expansion into
    :class:`RunSpec` objects, each with its own derived seed;
 3. :func:`execute_campaign` (:mod:`repro.campaign.executor`) — run the
-   specs serially or on a ``concurrent.futures.ProcessPoolExecutor``;
+   specs serially, on a ``concurrent.futures.ProcessPoolExecutor``, or
+   (``queue_dir=...``) through the durable on-disk work queue of
+   :mod:`repro.queue`, which is crash-resumable and shareable across
+   hosts (``repro campaign submit / worker / status / collect``);
 4. :class:`CampaignResult` (:mod:`repro.campaign.results`) — typed
    record store with JSON/CSV export and Table-2-style overhead
    aggregation.

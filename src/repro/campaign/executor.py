@@ -21,6 +21,7 @@ Design notes
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import functools
 import os
 from typing import Callable, Sequence
@@ -39,6 +40,28 @@ ProgressFn = Callable[[int, int, CampaignRunRecord], None]
 #: reference-trajectory spool directory to its pool workers (set before
 #: the pool starts, so both fork and spawn children inherit it).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@contextlib.contextmanager
+def cache_dir_env(cache_dir):
+    """Export ``CACHE_DIR_ENV`` for a scope, restoring the old value.
+
+    The shared save/set/restore dance of every campaign entry point
+    (pool driver here, queue workers in :mod:`repro.queue.worker`);
+    ``None`` leaves the environment untouched.
+    """
+    if cache_dir is None:
+        yield
+        return
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = os.fspath(cache_dir)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = previous
 
 
 @functools.lru_cache(maxsize=8)
@@ -129,7 +152,6 @@ def run_one(run: RunSpec) -> CampaignRunRecord:
         relative_residual=report.relative_residual,
         modeled_time=report.modeled_time,
         recovery_time=report.recovery_time,
-        wall_time=report.wall_time,
         reference_time=report.reference_time,
         reference_iterations=report.reference_iterations,
         total_overhead=report.total_overhead,
@@ -174,11 +196,68 @@ def execute_runs(
     return records
 
 
+def _queue_worker_entry(queue_dir: str) -> dict:
+    """Module-level (picklable) pool target: drain the queue fully.
+
+    ``wait=True`` so a resumed queue that still carries an orphaned
+    (unexpired) lease from a killed driver is polled until the lease
+    times out and the task is reclaimed, instead of being abandoned.
+    """
+    from ..queue.worker import run_worker
+
+    summary = run_worker(queue_dir, wait=True)
+    return {"done": summary.done, "failed": summary.failed}
+
+
+def execute_queued(
+    spec: CampaignSpec,
+    queue_dir,
+    workers: int,
+) -> CampaignResult:
+    """Run a campaign through an on-disk queue with a local worker pool.
+
+    The durable-queue analogue of :func:`execute_runs`: the spec is
+    submitted as a task store under ``queue_dir``, ``workers``
+    independent worker processes drain it, and the spool shards are
+    collected into the canonical result — byte-identical to a serial
+    run, but resumable: if this process dies, re-running against the
+    same ``queue_dir`` (or pointing ``repro campaign worker`` at it,
+    from any host sharing the filesystem) picks up where it left off.
+    """
+    from ..queue.collect import collect
+    from ..queue.store import QueueStore
+    from ..queue.worker import run_worker
+
+    store = QueueStore(queue_dir)
+    if store.spec_path.exists():
+        # Resuming an existing queue: the spec on disk is authoritative
+        # (and must be the same sweep).
+        if store.spec_dict != spec.to_dict():
+            raise ConfigurationError(
+                f"{queue_dir} holds a different campaign "
+                f"({store.spec.name!r}); refusing to mix sweeps"
+            )
+    else:
+        store = QueueStore.submit(spec, queue_dir)
+    if workers <= 1:
+        run_worker(queue_dir, wait=True)
+    else:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_queue_worker_entry, os.fspath(queue_dir))
+                for _ in range(workers)
+            ]
+            for future in futures:
+                future.result()  # surface worker-process crashes
+    return collect(queue_dir)
+
+
 def execute_campaign(
     spec: CampaignSpec,
     workers: int | None = None,
     progress: ProgressFn | None = None,
     cache_dir: str | None = None,
+    queue_dir=None,
 ) -> CampaignResult:
     """Expand a campaign spec and execute every run.
 
@@ -189,21 +268,22 @@ def execute_campaign(
     duration of the campaign, so every worker — fork or spawn — shares
     one copy per configuration instead of computing its own; the
     previous value is restored afterwards).
+
+    ``queue_dir`` switches to the durable-queue execution mode
+    (:mod:`repro.queue`): tasks are materialised on disk, ``workers``
+    queue workers drain them, and the result is collected from the
+    spool shards — same records, but crash-resumable and joinable by
+    external ``repro campaign worker`` processes.  Per-run ``progress``
+    callbacks are not available in this mode (workers stream to disk,
+    not to the driver); use ``repro campaign status`` for observation.
     """
     runs = expand_spec(spec)
     if not runs:
         raise ConfigurationError(f"campaign {spec.name!r} expands to zero runs")
     if workers is None:
         workers = default_workers(len(runs))
-    previous = os.environ.get(CACHE_DIR_ENV)
-    if cache_dir is not None:
-        os.environ[CACHE_DIR_ENV] = os.fspath(cache_dir)
-    try:
+    with cache_dir_env(cache_dir):
+        if queue_dir is not None:
+            return execute_queued(spec, queue_dir, workers=workers)
         records = execute_runs(runs, workers=workers, progress=progress)
-    finally:
-        if cache_dir is not None:
-            if previous is None:
-                os.environ.pop(CACHE_DIR_ENV, None)
-            else:
-                os.environ[CACHE_DIR_ENV] = previous
     return CampaignResult(spec=spec.to_dict(), records=records)

@@ -7,6 +7,15 @@ bundles the spec with all records and knows how to
 * round-trip itself through JSON (lossless) and CSV (records only),
 * aggregate medians per (strategy, T, ϕ, scenario) cell,
 * render a Table-2-shaped run-time-overhead comparison.
+
+Records are **canonically ordered**: a :class:`CampaignResult` sorts
+its records by run key at construction, so the JSON/CSV it writes is
+independent of execution order (serial loop, process pool, or
+distributed queue workers finishing in any order all produce the same
+bytes).  Records deliberately carry no measured host wall-clock time —
+every field is a deterministic function of the :class:`RunSpec`, which
+is what makes stored results comparable across runs and lets the queue
+collector verify duplicate records by equality.
 """
 
 from __future__ import annotations
@@ -44,7 +53,6 @@ class CampaignRunRecord:
     relative_residual: float
     modeled_time: float
     recovery_time: float
-    wall_time: float
     reference_time: float
     reference_iterations: int
     total_overhead: float
@@ -89,6 +97,9 @@ class CampaignRunRecord:
         # records without a backend column load as the default backend.
         payload["stats"] = dict(payload.get("stats") or {})
         payload.setdefault("backend", "vectorized")
+        # Records written while a measured host wall-clock column still
+        # existed load without it (it was nondeterministic noise).
+        payload.pop("wall_time", None)
         return cls(**payload)
 
 
@@ -106,7 +117,6 @@ _CSV_CONVERTERS: dict[str, Any] = {
     "relative_residual": float,
     "modeled_time": float,
     "recovery_time": float,
-    "wall_time": float,
     "reference_time": float,
     "total_overhead": float,
     "recovery_overhead": float,
@@ -118,12 +128,53 @@ _CSV_CONVERTERS: dict[str, Any] = {
 }
 
 
+def run_sort_key(record: CampaignRunRecord) -> str:
+    """The canonical record order: lexicographic by run id.
+
+    The run id is the stable, fully-resolved run identity (see
+    :attr:`~repro.campaign.spec.RunSpec.run_id`), so sorting by it is
+    deterministic across processes, hosts and execution order.
+    """
+    return record.run_id
+
+
 class CampaignResult:
-    """All records of one campaign plus the spec that produced them."""
+    """All records of one campaign plus the spec that produced them.
+
+    Records are kept in canonical order (sorted by run key) regardless
+    of the order they were produced or loaded in, so two results over
+    the same runs always serialise byte-identically.
+    """
 
     def __init__(self, spec: Mapping[str, Any], records: Iterable[CampaignRunRecord]):
         self.spec = dict(spec)
-        self.records = list(records)
+        self.records = sorted(records, key=run_sort_key)
+
+    @classmethod
+    def merge(
+        cls, spec: Mapping[str, Any], parts: Iterable[Iterable[CampaignRunRecord]]
+    ) -> "CampaignResult":
+        """Merge record shards (e.g. per-worker queue spools) into one result.
+
+        Duplicate run ids are allowed **only** when the records are
+        equal — campaign records are deterministic functions of their
+        :class:`RunSpec`, so a crash-recovered re-execution of an
+        already-spooled task yields the identical record; anything else
+        is a determinism bug worth failing loudly on.
+        """
+        by_id: dict[str, CampaignRunRecord] = {}
+        for part in parts:
+            for record in part:
+                existing = by_id.get(record.run_id)
+                if existing is None:
+                    by_id[record.run_id] = record
+                elif existing != record:
+                    raise ConfigurationError(
+                        f"conflicting duplicate records for run {record.run_id!r} "
+                        "(two shards disagree; campaign runs are expected to be "
+                        "deterministic)"
+                    )
+        return cls(spec=spec, records=by_id.values())
 
     def __len__(self) -> int:
         return len(self.records)

@@ -12,10 +12,14 @@ Commands
 ``campaign``
     Scenario-campaign sweeps (:mod:`repro.campaign`): ``campaign run``
     expands a declarative spec (built-in demo sweep, or a JSON file via
-    ``--spec``) and executes it on a process pool; ``campaign report``
-    re-renders the Table-2-style overhead comparison from stored
-    results, renders per-cell A/B overhead deltas against a second
-    result file via ``--baseline``, and can export records to CSV.
+    ``--spec``) and executes it on a process pool (or through a durable
+    queue via ``--queue-dir``); ``campaign report`` re-renders the
+    Table-2-style overhead comparison from stored results, renders
+    per-cell A/B overhead deltas against a second result file via
+    ``--baseline``, and can export records to CSV.  The distributed
+    path (:mod:`repro.queue`) is the ``submit`` → ``worker`` (×N, any
+    host sharing the queue directory) → ``status`` / ``collect``
+    subcommand family.
 ``info``
     List available problems, strategies and preconditioners.
 
@@ -27,6 +31,10 @@ Examples::
     python -m repro campaign run --workers 4 --out campaign.json
     python -m repro campaign report --results campaign.json --csv campaign.csv
     python -m repro campaign report --results new.json --baseline old.json
+    python -m repro campaign submit --queue sweep.queue --spec sweep.json
+    python -m repro campaign worker --queue sweep.queue
+    python -m repro campaign status --queue sweep.queue
+    python -m repro campaign collect --queue sweep.queue --out campaign.json
     python -m repro info
 
 Development: the tier-1 test suite is ``python -m pytest -x -q`` from
@@ -141,6 +149,73 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="print the expanded run list and exit")
     run_cmd.add_argument("--quiet", action="store_true",
                          help="suppress per-run progress lines")
+    run_cmd.add_argument("--queue-dir", default=None, metavar="DIR",
+                         help="execute through a durable on-disk queue rooted "
+                         "at DIR (crash-resumable; external 'campaign worker' "
+                         "processes may join) instead of an in-memory pool")
+
+    submit_cmd = campaign_sub.add_parser(
+        "submit",
+        help="materialise a campaign spec as a durable on-disk task queue",
+        description="Expand a campaign spec into one claimable task file per "
+        "seeded run under the queue directory. Workers ('repro campaign "
+        "worker') on any host sharing that directory then drain it; see the "
+        "repro.queue module docstring for the layout and lease protocol.",
+    )
+    submit_cmd.add_argument("--queue", required=True, metavar="DIR",
+                            help="queue directory (must not hold a queue yet)")
+    submit_cmd.add_argument("--spec", default=None, metavar="FILE",
+                            help="JSON campaign spec (default: built-in demo)")
+    submit_cmd.add_argument("--scale", default="tiny", choices=available_scales(),
+                            help="matrix scale of the built-in demo sweep")
+    submit_cmd.add_argument("--repetitions", type=int, default=None,
+                            help="override the spec's repetitions per cell")
+    submit_cmd.add_argument("--backends", default=None, metavar="NAMES",
+                            help="comma-separated kernel backends to sweep")
+
+    worker_cmd = campaign_sub.add_parser(
+        "worker",
+        help="claim and execute tasks from a submitted queue until drained",
+    )
+    worker_cmd.add_argument("--queue", required=True, metavar="DIR")
+    worker_cmd.add_argument("--id", default=None, metavar="NAME", dest="worker_id",
+                            help="worker id (default: host-pid-nonce)")
+    worker_cmd.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                            help="lease time-to-live (default: 60)")
+    worker_cmd.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                            help="stop after N claimed tasks (time slicing)")
+    worker_cmd.add_argument("--wait", action="store_true",
+                            help="keep polling until every task is terminal "
+                            "(outlive peers whose leases may expire)")
+    worker_cmd.add_argument("--cache-dir", nargs="?", const=DEFAULT_CACHE_DIR,
+                            default=None, metavar="DIR",
+                            help="share reference trajectories on disk "
+                            "(same contract as 'campaign run --cache-dir')")
+    worker_cmd.add_argument("--quiet", action="store_true",
+                            help="suppress per-task progress/ETA lines")
+
+    status_cmd = campaign_sub.add_parser(
+        "status", help="summarise a queue's task/lease/spool state"
+    )
+    status_cmd.add_argument("--queue", required=True, metavar="DIR")
+    status_cmd.add_argument("--json", action="store_true", dest="as_json",
+                            help="machine-readable QueueStatus JSON")
+
+    collect_cmd = campaign_sub.add_parser(
+        "collect",
+        help="merge a drained queue's spool shards into one result file",
+    )
+    collect_cmd.add_argument("--queue", required=True, metavar="DIR")
+    collect_cmd.add_argument("--out", default="campaign_results.json",
+                             metavar="FILE",
+                             help="where to store the merged records (JSON)")
+    collect_cmd.add_argument("--csv", default=None, metavar="FILE",
+                             help="additionally export the records to CSV")
+    collect_cmd.add_argument("--allow-partial", action="store_true",
+                             help="collect whatever completed even if tasks "
+                             "are missing or failed")
+    collect_cmd.add_argument("--quiet", action="store_true",
+                             help="suppress the rendered summary table")
 
     report_cmd = campaign_sub.add_parser(
         "report", help="render the overhead comparison from stored results"
@@ -228,12 +303,116 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
+def _campaign_spec_from_args(args: argparse.Namespace):
+    """Shared spec assembly for ``campaign run`` and ``campaign submit``."""
     import dataclasses
 
-    from .campaign import CampaignResult, CampaignSpec, demo_spec, execute_campaign
+    from .campaign import CampaignSpec, demo_spec
+
+    if args.spec:
+        spec = CampaignSpec.from_json(args.spec)
+    else:
+        spec = demo_spec(scale=args.scale)
+    if args.repetitions is not None:
+        spec = dataclasses.replace(spec, repetitions=args.repetitions)
+    if args.backends is not None:
+        names = tuple(n.strip() for n in args.backends.split(",") if n.strip())
+        spec = dataclasses.replace(spec, backends=names)
+    return spec
+
+
+def _worker_progress_printer(worker_id: str):
+    """Per-task progress/ETA line for ``repro campaign worker``."""
+    def progress(summary, status, record):
+        label = record.run_id if record is not None else "(failed/abandoned)"
+        rate = summary.seconds_per_task
+        if rate and status.remaining:
+            # Crude but honest: assume every currently-leased worker
+            # (plus this one) sustains this worker's observed rate.
+            active = max(1, status.claimed + 1)
+            eta = f", eta ~{status.remaining * rate / active:.0f}s"
+        else:
+            eta = ""
+        print(
+            f"  [{worker_id}] done {summary.done}"
+            + (f" failed {summary.failed}" if summary.failed else "")
+            + (f" abandoned {summary.abandoned}" if summary.abandoned else "")
+            + f" | queue: {status.render()}"
+            + (f" | {rate:.2f} s/task{eta}" if rate else "")
+            + f" | {label}",
+            flush=True,
+        )
+    return progress
+
+
+def _cmd_campaign_queue(args: argparse.Namespace) -> int:
+    """The durable-queue subcommands: submit / worker / status / collect."""
+    import json as _json
+    import os
+
+    from .queue import QueueStore, collect, default_worker_id, run_worker
+    from .queue.store import DEFAULT_TTL
+
+    if args.campaign_command == "submit":
+        spec = _campaign_spec_from_args(args)
+        store = QueueStore.submit(spec, args.queue)
+        print(f"campaign {spec.name!r}: {store.n_tasks} tasks submitted "
+              f"to {store.queue_dir}")
+        print("next: repro campaign worker --queue "
+              f"{store.queue_dir}  (repeat per core / host)")
+        return 0
+
+    if args.campaign_command == "worker":
+        worker_id = args.worker_id or default_worker_id()
+        ttl = args.ttl if args.ttl is not None else DEFAULT_TTL
+        progress = None if args.quiet else _worker_progress_printer(worker_id)
+        cache_dir = os.path.expanduser(args.cache_dir) if args.cache_dir else None
+        print(f"worker {worker_id} draining {args.queue} (ttl={ttl:g}s) ...",
+              flush=True)
+        summary = run_worker(
+            args.queue,
+            worker_id=worker_id,
+            ttl=ttl,
+            max_tasks=args.max_tasks,
+            wait=args.wait,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+        print(f"worker {worker_id}: {summary.done} done, "
+              f"{summary.failed} failed, {summary.abandoned} abandoned "
+              f"({summary.busy_seconds:.1f}s busy)")
+        return 0 if summary.failed == 0 else 1
+
+    if args.campaign_command == "status":
+        status = QueueStore(args.queue).status(with_workers=True)
+        if args.as_json:
+            print(_json.dumps(status.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"queue {args.queue}: {status.render()}")
+            for worker_id, count in sorted(status.workers.items()):
+                print(f"  {worker_id}: {count} done")
+        return 0 if status.failed == 0 else 1
+
+    # campaign collect
+    result = collect(args.queue, allow_partial=args.allow_partial)
+    if not args.quiet:
+        print(result.render_summary())
+        print()
+    path = result.to_json(args.out)
+    print(f"wrote {len(result)} records to {path}")
+    if args.csv:
+        csv_path = result.to_csv(args.csv)
+        print(f"wrote {len(result)} records to {csv_path}")
+    return 0 if all(record.converged for record in result) else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import CampaignResult, execute_campaign
     from .campaign.executor import default_workers
     from .campaign.spec import expand_spec
+
+    if args.campaign_command in ("submit", "worker", "status", "collect"):
+        return _cmd_campaign_queue(args)
 
     if args.campaign_command == "report":
         result = CampaignResult.from_json(args.results)
@@ -251,15 +430,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     # campaign run
-    if args.spec:
-        spec = CampaignSpec.from_json(args.spec)
-    else:
-        spec = demo_spec(scale=args.scale)
-    if args.repetitions is not None:
-        spec = dataclasses.replace(spec, repetitions=args.repetitions)
-    if args.backends is not None:
-        names = tuple(n.strip() for n in args.backends.split(",") if n.strip())
-        spec = dataclasses.replace(spec, backends=names)
+    spec = _campaign_spec_from_args(args)
     runs = expand_spec(spec)
     if not runs:
         raise ConfigurationError(
@@ -272,11 +443,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"\n{len(runs)} runs")
         return 0
     workers = args.workers if args.workers is not None else default_workers(len(runs))
-    print(f"campaign {spec.name!r}: {len(runs)} runs on "
-          f"{'a serial loop' if workers <= 1 else f'{workers} pool workers'} ...",
-          flush=True)
+    where = "a serial loop" if workers <= 1 else f"{workers} pool workers"
+    if args.queue_dir:
+        where = f"{workers} queue worker(s) via {args.queue_dir}"
+    print(f"campaign {spec.name!r}: {len(runs)} runs on {where} ...", flush=True)
     progress = None
-    if not args.quiet:
+    if not args.quiet and not args.queue_dir:
         def progress(done, total, record):  # noqa: E306
             status = "ok " if record.converged else "FAIL"
             print(f"  [{done:>3d}/{total}] {status} {record.run_id} "
@@ -285,7 +457,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     cache_dir = os.path.expanduser(args.cache_dir) if args.cache_dir else None
     result = execute_campaign(
-        spec, workers=workers, progress=progress, cache_dir=cache_dir
+        spec, workers=workers, progress=progress, cache_dir=cache_dir,
+        queue_dir=args.queue_dir,
     )
     print()
     print(result.render_summary())

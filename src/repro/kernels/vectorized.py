@@ -37,6 +37,19 @@ from ..cluster.cost_model import BYTES_PER_FLOAT
 from .base import KernelBackend
 from .looped import LoopedBackend
 
+try:  # pragma: no cover - exercised via spmv_local on any scipy we support
+    # The in-place CSR matvec kernel scipy's ``csr_matrix @ vector``
+    # itself is built on: ``y += A @ x`` into a caller-owned output.
+    # Routing around the operator avoids allocating a fresh result
+    # array (and the follow-up copy into ``out.data``) every
+    # iteration — at >= 32k unknowns the stacked matvec is
+    # memory-bound and that dead traffic is measurable.  Same kernel,
+    # same row-major accumulation order, bit-identical results
+    # (enforced by tests/properties/test_backend_equivalence.py).
+    from scipy.sparse._sparsetools import csr_matvec as _csr_matvec
+except ImportError:  # pragma: no cover - ancient/exotic scipy builds
+    _csr_matvec = None
+
 #: Shared per-rank fallback (identical code path to the looped backend).
 _LOOPED = LoopedBackend()
 
@@ -106,10 +119,25 @@ class VectorizedBackend(KernelBackend):
     def spmv_local(self, executor, x, out) -> None:
         cache = executor.plan.flat_cache()
         executor.cluster.charge_compute(cache.local_flops)
+        # The ghost tail of the stacked input was already filled in
+        # place by the halo exchange (``_ghost_flat`` aliases it);
+        # only the owned block still needs copying.
         buf = executor._spmv_input
         buf[: x.data.size] = x.data
-        buf[x.data.size :] = executor._ghost_flat
-        out.data[:] = cache.stacked_matrix @ buf
+        matrix = cache.stacked_matrix
+        if _csr_matvec is not None:
+            # ``csr_matvec`` accumulates into its output, so the
+            # preallocated target (the result vector's own flat
+            # storage) is zeroed rather than reallocated per call.
+            y = out.data
+            y[:] = 0.0
+            _csr_matvec(
+                matrix.shape[0], matrix.shape[1],
+                matrix.indptr, matrix.indices, matrix.data,
+                buf, y,
+            )
+        else:
+            out.data[:] = matrix @ buf
 
     def aspmv(self, executor, x, iteration, queue, out) -> None:
         cluster = executor.cluster

@@ -1,0 +1,106 @@
+"""Durable, broker-less work queue for distributed campaign execution.
+
+Scaling a sweep past one host needs no broker: a directory on a shared
+POSIX filesystem *is* the queue.  ``submit`` turns a
+:class:`~repro.campaign.spec.CampaignSpec` into one JSON task file per
+seeded run; any number of independent worker processes (one host or
+many, as long as they see the same directory) claim tasks through
+atomic filesystem operations, execute them through the standard
+:class:`~repro.api.session.SolverSession` machinery, and stream their
+records to per-worker JSONL spools; ``collect`` merges the spools into
+a :class:`~repro.campaign.results.CampaignResult` that is
+byte-identical to a serial run of the same spec — fittingly, the sweep
+infrastructure of this checkpoint-recovery reproduction is itself
+checkpointed and recoverable: killing a worker mid-sweep loses no
+completed run.
+
+On-disk layout
+--------------
+One queue = one directory::
+
+    queue_dir/
+      spec.json            # campaign spec + n_tasks (written LAST by
+                           #   submit: its presence marks the store live)
+      tasks/<task_id>.json # one QueueTask per seeded RunSpec; the id is
+                           #   {expansion_index:06d}-{sha256(run_id)[:10]},
+                           #   so sorted directory order == expansion order
+      leases/<task_id>.json    # live claims (see protocol below)
+      reclaimed/<...>.json     # tombstones of expired leases (audit trail)
+      done/<task_id>.json      # terminal marker -> spool shard holding the
+      failed/<task_id>.json    #   record / the captured traceback
+      spool/<worker_id>.jsonl  # per-worker record shards (append-only)
+
+Every payload write is atomic (same-directory temp file +
+``os.replace``), so readers never observe partial JSON.
+
+Lease protocol
+--------------
+* **Claim** — create ``leases/<task_id>.json`` with
+  ``O_CREAT | O_EXCL``.  At most one creator can succeed, which is the
+  whole mutual exclusion story; there is no lock server to die.
+* **Heartbeat** — the holder rewrites its lease (atomic replace) with a
+  fresh ``heartbeat_at`` every ``ttl/4`` seconds while the solve runs.
+* **Expiry & reclaim** — a lease whose last heartbeat is older than
+  ``ttl`` is dead.  Any worker may reclaim it by *renaming* the lease
+  file to a unique tombstone under ``reclaimed/`` — rename is atomic,
+  so exactly one reclaimer wins — after which the task is claimable
+  again via the ordinary ``O_EXCL`` path.
+* **Completion** — the worker appends the record to its spool shard
+  (flushed + fsynced), *then* writes the ``done/`` marker, *then*
+  releases the lease.  A crash between spool and marker merely lets
+  the task be re-executed; determinism makes the re-execution's record
+  byte-equal and the collector deduplicates by run id (and verifies
+  the equality).  A worker whose own heartbeat discovers the lease
+  lost discards its result instead of writing a marker.
+
+The worst case after killing a worker is therefore: tasks it had *in
+flight* wait out one TTL and run again.  Nothing completed is lost,
+nothing is double-counted — the ESR/ESRP story, applied to the sweep
+infrastructure itself.
+
+Quickstart
+----------
+Programmatic::
+
+    from repro.campaign import demo_spec
+    from repro.queue import QueueStore, collect, run_worker
+
+    store = QueueStore.submit(demo_spec(), "sweep.queue")
+    run_worker("sweep.queue")            # or N processes / hosts of this
+    result = collect("sweep.queue")      # == serial execute_campaign()
+
+Command line::
+
+    repro campaign submit --queue sweep.queue --spec sweep.json
+    repro campaign worker --queue sweep.queue   # repeat per core / host
+    repro campaign status --queue sweep.queue
+    repro campaign collect --queue sweep.queue --out campaign.json
+
+or in one step, ``repro campaign run --queue-dir sweep.queue`` /
+:func:`~repro.campaign.executor.execute_campaign` with
+``queue_dir=...``, which submits, drains with a local worker pool and
+collects.
+"""
+
+from __future__ import annotations
+
+from .collect import collect, iter_shard_records
+from .state import Lease, QueueStatus, QueueTask, TaskOutcome
+from .store import DEFAULT_TTL, QueueStore, task_id_for
+from .worker import QueueWorker, WorkerSummary, default_worker_id, run_worker
+
+__all__ = [
+    "DEFAULT_TTL",
+    "Lease",
+    "QueueStatus",
+    "QueueStore",
+    "QueueTask",
+    "QueueWorker",
+    "TaskOutcome",
+    "WorkerSummary",
+    "collect",
+    "default_worker_id",
+    "iter_shard_records",
+    "run_worker",
+    "task_id_for",
+]

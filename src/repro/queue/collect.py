@@ -1,0 +1,98 @@
+"""Collecting a drained queue into one canonical :class:`CampaignResult`.
+
+The collector reads every per-worker spool shard, deduplicates by run
+id (crash recovery can legitimately execute a task twice — determinism
+makes the duplicate records byte-equal, which is verified), checks
+completeness against the task store, and hands the records to
+:class:`~repro.campaign.results.CampaignResult`, whose canonical
+ordering makes the serialised output independent of which worker
+finished what in which order — byte-identical to a serial
+:func:`~repro.campaign.executor.execute_campaign` of the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterator
+
+from ..campaign.results import CampaignResult, CampaignRunRecord
+from ..exceptions import ConfigurationError
+from .store import QueueStore
+
+
+def iter_shard_records(shard: pathlib.Path) -> Iterator[CampaignRunRecord]:
+    """Parse one JSONL spool shard, ignoring a torn trailing line.
+
+    A worker killed mid-append can leave a final partial line; every
+    *complete* line was fsynced before its task's done marker, so a
+    torn tail always belongs to a task that is still claimable and
+    will be re-executed — skipping it loses nothing.
+    """
+    try:
+        text = shard.read_text()
+    except FileNotFoundError:
+        return
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines) and not text.endswith("\n"):
+                continue  # torn final append of a killed worker
+            raise ConfigurationError(
+                f"{shard}:{lineno} holds invalid record JSON"
+            ) from None
+        yield CampaignRunRecord.from_dict(payload)
+
+
+def collect(queue_dir, allow_partial: bool = False) -> CampaignResult:
+    """Merge a queue's spool shards into one canonical campaign result.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` if tasks are
+    missing or failed, unless ``allow_partial`` (which returns whatever
+    completed — useful for inspecting a half-drained sweep).
+    """
+    store = QueueStore(queue_dir)
+    shards = sorted(store._dir("spool").glob("*.jsonl"))
+    result = CampaignResult.merge(
+        spec=store.spec_dict,
+        parts=(iter_shard_records(shard) for shard in shards),
+    )
+
+    collected = {record.run_id for record in result.records}
+    expected: dict[str, str] = {}  # task_id -> run_id
+    for task in store.iter_tasks():
+        expected[task.task_id] = task.run_id
+    failures = [o for o in store.outcomes() if o.status == "failed"]
+    missing = sorted(set(expected.values()) - collected)
+    if not allow_partial:
+        if failures:
+            detail = "; ".join(
+                f"{o.run_id} ({(o.error or '').strip().splitlines()[-1] if o.error else 'unknown error'})"
+                for o in failures[:5]
+            )
+            raise ConfigurationError(
+                f"queue {store.queue_dir} has {len(failures)} failed task(s): "
+                f"{detail}{' ...' if len(failures) > 5 else ''} "
+                "(use allow_partial / --allow-partial to collect the rest)"
+            )
+        if missing:
+            raise ConfigurationError(
+                f"queue {store.queue_dir} is not drained: "
+                f"{len(missing)}/{len(expected)} run(s) lack records "
+                f"(first missing: {missing[0]}); run more workers or pass "
+                "allow_partial / --allow-partial"
+            )
+    # Spool records for runs the task store does not know would mean a
+    # stale shard from a different sweep leaked into this directory —
+    # never acceptable, partial collection or not.
+    stray = sorted(collected - set(expected.values()))
+    if stray:
+        raise ConfigurationError(
+            f"spool shards contain {len(stray)} record(s) not in the task "
+            f"store (first: {stray[0]}); the queue directory is corrupt"
+        )
+    return result

@@ -1,0 +1,203 @@
+"""Queue-state dataclasses with lossless JSON round-trips.
+
+Everything the on-disk queue stores is one of these records, in the
+eager-validation / ``to_dict``–``from_dict`` style of
+:mod:`repro.api.request`:
+
+* :class:`QueueTask` — one claimable unit of work (a fully-resolved
+  :class:`~repro.campaign.spec.RunSpec` plus its stable task id);
+* :class:`Lease` — a worker's claim on a task, with the heartbeat
+  timestamps the crash-recovery protocol reasons about;
+* :class:`TaskOutcome` — the terminal marker of a task (``done`` or
+  ``failed``), pointing at the spool shard holding its record;
+* :class:`QueueStatus` — the aggregate counters ``repro campaign
+  status`` renders.
+
+Timestamps are POSIX seconds (``time.time()``); the lease protocol
+compares only *differences* against the TTL, so modest clock skew
+between hosts sharing a filesystem shifts expiry, never correctness
+(an early reclaim of a live lease is still race-free, see
+:mod:`repro.queue`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from ..campaign.spec import RunSpec
+from ..exceptions import ConfigurationError
+
+#: Terminal task states (the names double as marker-directory names).
+TERMINAL_STATES = ("done", "failed")
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueTask:
+    """One claimable unit of work: a task id plus its resolved run.
+
+    Task ids are ``{index:06d}-{digest}``: the expansion index prefix
+    makes the lexicographic directory order equal the deterministic
+    spec-expansion order (workers drain the queue front to back), and
+    the run-key digest suffix guards against a stale store being
+    reused with a different spec.
+    """
+
+    task_id: str
+    run: RunSpec
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ConfigurationError("task_id must be non-empty")
+
+    @property
+    def run_id(self) -> str:
+        return self.run.run_id
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"task_id": self.task_id, "run": self.run.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueueTask":
+        return cls(
+            task_id=str(data["task_id"]),
+            run=RunSpec.from_dict(data["run"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Lease:
+    """A worker's claim on one task, kept alive by heartbeats."""
+
+    task_id: str
+    worker_id: str
+    #: POSIX timestamp of the initial claim.
+    claimed_at: float
+    #: POSIX timestamp of the most recent heartbeat (equals
+    #: ``claimed_at`` until the first renewal).
+    heartbeat_at: float
+    #: Seconds a lease survives without a heartbeat before any worker
+    #: may reclaim it.
+    ttl: float
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ConfigurationError(f"lease ttl must be > 0, got {self.ttl}")
+        if self.heartbeat_at < self.claimed_at:
+            raise ConfigurationError("heartbeat_at precedes claimed_at")
+
+    @property
+    def expires_at(self) -> float:
+        return self.heartbeat_at + self.ttl
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def renewed(self, now: float) -> "Lease":
+        """The same claim with a fresh heartbeat."""
+        return dataclasses.replace(self, heartbeat_at=max(now, self.claimed_at))
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Lease":
+        return cls(
+            task_id=str(data["task_id"]),
+            worker_id=str(data["worker_id"]),
+            claimed_at=float(data["claimed_at"]),
+            heartbeat_at=float(data["heartbeat_at"]),
+            ttl=float(data["ttl"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskOutcome:
+    """Terminal marker of one task (the contents of ``done/``/``failed/``)."""
+
+    task_id: str
+    run_id: str
+    worker_id: str
+    status: str
+    #: Spool shard (file name under ``spool/``) holding the record;
+    #: ``None`` for failed tasks.
+    shard: str | None = None
+    #: Human-readable failure cause; ``None`` for completed tasks.
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in TERMINAL_STATES:
+            raise ConfigurationError(
+                f"status must be one of {TERMINAL_STATES}, got {self.status!r}"
+            )
+        if self.status == "done" and self.shard is None:
+            raise ConfigurationError("a completed task must name its spool shard")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskOutcome":
+        return cls(
+            task_id=str(data["task_id"]),
+            run_id=str(data["run_id"]),
+            worker_id=str(data["worker_id"]),
+            status=str(data["status"]),
+            shard=data.get("shard"),
+            error=data.get("error"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueStatus:
+    """Aggregate queue counters (one consistent-ish directory scan).
+
+    ``claimed`` counts live leases, ``expired`` counts leases past
+    their TTL (reclaimable in-flight work of crashed workers);
+    ``pending`` is what no worker has touched yet.  ``pending +
+    claimed + expired + done + failed == total`` up to scan races.
+    """
+
+    total: int
+    pending: int
+    claimed: int
+    expired: int
+    done: int
+    failed: int
+    #: Completed-task counts per worker id (from the done markers).
+    workers: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done - self.failed
+
+    @property
+    def drained(self) -> bool:
+        return self.remaining <= 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueueStatus":
+        return cls(
+            total=int(data["total"]),
+            pending=int(data["pending"]),
+            claimed=int(data["claimed"]),
+            expired=int(data["expired"]),
+            done=int(data["done"]),
+            failed=int(data["failed"]),
+            workers={str(k): int(v) for k, v in (data.get("workers") or {}).items()},
+        )
+
+    def render(self) -> str:
+        parts = [
+            f"{self.done}/{self.total} done",
+            f"{self.pending} pending",
+            f"{self.claimed} in flight",
+        ]
+        if self.expired:
+            parts.append(f"{self.expired} expired lease(s)")
+        if self.failed:
+            parts.append(f"{self.failed} FAILED")
+        return ", ".join(parts)

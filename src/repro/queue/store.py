@@ -1,0 +1,483 @@
+"""The file-backed job store: submit, claim, heartbeat, complete, reclaim.
+
+All mutations are either an ``O_CREAT | O_EXCL`` create (claims — at
+most one creator succeeds, even across hosts sharing a POSIX
+filesystem), an ``os.replace`` of a same-directory temp file (every
+payload write — readers never observe partial JSON), or an
+``os.rename`` to a unique tombstone (reclaims — at most one renamer
+succeeds).  See the :mod:`repro.queue` package docstring for the
+on-disk layout and the full lease protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import re
+import time
+from typing import Any, Iterator, Mapping
+
+from ..campaign.spec import CampaignSpec, RunSpec, expand_spec
+from ..exceptions import ConfigurationError
+from .state import Lease, QueueStatus, QueueTask, TaskOutcome
+
+#: Store layout version stamped into ``spec.json``.
+LAYOUT_VERSION = 1
+
+#: Default lease time-to-live (seconds without a heartbeat before any
+#: worker may reclaim an in-flight task).
+DEFAULT_TTL = 60.0
+
+_SUBDIRS = ("tasks", "leases", "reclaimed", "done", "failed", "spool")
+
+
+def _atomic_write_json(path: pathlib.Path, payload: Mapping[str, Any]) -> None:
+    """Write JSON so that readers see the old file or the new, never half."""
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _read_json(path: pathlib.Path) -> dict[str, Any] | None:
+    """Read a JSON payload, tolerating concurrent removal (``None``)."""
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} holds invalid queue JSON: {exc}") from exc
+
+
+def task_id_for(index: int, run: RunSpec) -> str:
+    """Stable task id: expansion index prefix + run-key digest suffix."""
+    digest = hashlib.sha256(run.run_id.encode()).hexdigest()[:10]
+    return f"{index:06d}-{digest}"
+
+
+#: Worker ids become lease payload fields *and* file-name components
+#: (spool shards, claim temp files), so they must be flat, portable
+#: path atoms — in particular no separators that would escape the
+#: queue directory.
+_WORKER_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,99}\Z")
+
+
+def validate_worker_id(worker_id: str) -> str:
+    if not _WORKER_ID_RE.match(worker_id or ""):
+        raise ConfigurationError(
+            f"invalid worker id {worker_id!r}: use 1-100 characters from "
+            "[A-Za-z0-9._-], starting with a letter or digit"
+        )
+    return worker_id
+
+
+class QueueStore:
+    """One durable campaign queue rooted at ``queue_dir``.
+
+    The store object itself is stateless beyond the directory path
+    (plus a lazily-loaded spec), so any number of processes on any
+    number of hosts may open the same directory concurrently; all
+    coordination happens through the atomic filesystem operations
+    described in the :mod:`repro.queue` docstring.
+    """
+
+    def __init__(self, queue_dir):
+        self.queue_dir = pathlib.Path(queue_dir)
+        self._spec_payload: dict[str, Any] | None = None
+        self._task_ids: list[str] | None = None
+        #: Claim-scan cursor: tasks before it were terminal or leased
+        #: when last visited, so the next scan starts where the last
+        #: one left off (and wraps), keeping a drain O(tasks) overall
+        #: instead of O(tasks²).  Purely a per-handle optimisation —
+        #: correctness never depends on it.
+        self._cursor = 0
+
+    # ------------------------------------------------------------------ paths
+
+    @property
+    def spec_path(self) -> pathlib.Path:
+        return self.queue_dir / "spec.json"
+
+    def _dir(self, name: str) -> pathlib.Path:
+        return self.queue_dir / name
+
+    def task_path(self, task_id: str) -> pathlib.Path:
+        return self._dir("tasks") / f"{task_id}.json"
+
+    def lease_path(self, task_id: str) -> pathlib.Path:
+        return self._dir("leases") / f"{task_id}.json"
+
+    def outcome_path(self, task_id: str, status: str) -> pathlib.Path:
+        return self._dir(status) / f"{task_id}.json"
+
+    def shard_path(self, worker_id: str) -> pathlib.Path:
+        return self._dir("spool") / f"{worker_id}.jsonl"
+
+    # ----------------------------------------------------------------- submit
+
+    @classmethod
+    def submit(cls, spec: CampaignSpec, queue_dir) -> "QueueStore":
+        """Materialise a campaign spec as an on-disk task store.
+
+        Refuses to overwrite an existing queue (``spec.json`` present):
+        a queue directory is append-only state shared with possibly
+        live workers; start a fresh sweep in a fresh directory.
+        """
+        store = cls(queue_dir)
+        if store.spec_path.exists():
+            raise ConfigurationError(
+                f"{store.spec_path} already exists; refusing to resubmit "
+                "over a live queue (collect it or choose a fresh directory)"
+            )
+        runs = expand_spec(spec)
+        if not runs:
+            raise ConfigurationError(f"campaign {spec.name!r} expands to zero runs")
+        store.queue_dir.mkdir(parents=True, exist_ok=True)
+        for name in _SUBDIRS:
+            store._dir(name).mkdir(exist_ok=True)
+        for index, run in enumerate(runs):
+            task = QueueTask(task_id=task_id_for(index, run), run=run)
+            _atomic_write_json(store.task_path(task.task_id), task.to_dict())
+        # The spec file is written last: its presence marks the store
+        # complete and claimable, so workers polling a half-submitted
+        # directory see zero tasks rather than a partial sweep.
+        _atomic_write_json(
+            store.spec_path,
+            {
+                "version": LAYOUT_VERSION,
+                "spec": spec.to_dict(),
+                "n_tasks": len(runs),
+            },
+        )
+        return store
+
+    # ------------------------------------------------------------------- spec
+
+    def _payload(self) -> dict[str, Any]:
+        if self._spec_payload is None:
+            payload = _read_json(self.spec_path)
+            if payload is None:
+                raise ConfigurationError(
+                    f"{self.queue_dir} is not a submitted queue "
+                    "(no spec.json; run 'repro campaign submit' first)"
+                )
+            version = int(payload.get("version", -1))
+            if version != LAYOUT_VERSION:
+                raise ConfigurationError(
+                    f"queue layout version {version} != {LAYOUT_VERSION} "
+                    f"in {self.spec_path}"
+                )
+            self._spec_payload = payload
+        return self._spec_payload
+
+    @property
+    def spec_dict(self) -> dict[str, Any]:
+        return dict(self._payload()["spec"])
+
+    @property
+    def spec(self) -> CampaignSpec:
+        return CampaignSpec.from_dict(self._payload()["spec"])
+
+    @property
+    def n_tasks(self) -> int:
+        return int(self._payload()["n_tasks"])
+
+    # ------------------------------------------------------------------ tasks
+
+    def task_ids(self) -> list[str]:
+        """All task ids, in deterministic (= expansion) order.
+
+        Cached per handle: the task set is immutable once ``spec.json``
+        exists (submit writes it last), so one directory listing
+        serves every later claim scan.
+        """
+        if self._task_ids is None:
+            self._payload()  # validate the store exists first
+            self._task_ids = sorted(
+                p.stem for p in self._dir("tasks").glob("*.json")
+            )
+        return self._task_ids
+
+    def load_task(self, task_id: str) -> QueueTask:
+        payload = _read_json(self.task_path(task_id))
+        if payload is None:
+            raise ConfigurationError(f"unknown task {task_id!r} in {self.queue_dir}")
+        return QueueTask.from_dict(payload)
+
+    def iter_tasks(self) -> Iterator[QueueTask]:
+        for task_id in self.task_ids():
+            yield self.load_task(task_id)
+
+    def is_terminal(self, task_id: str) -> bool:
+        return (
+            self.outcome_path(task_id, "done").exists()
+            or self.outcome_path(task_id, "failed").exists()
+        )
+
+    # ------------------------------------------------------------------ leases
+
+    def read_lease(self, task_id: str) -> Lease | None:
+        payload = _read_json(self.lease_path(task_id))
+        return Lease.from_dict(payload) if payload is not None else None
+
+    def _try_claim(self, task_id: str, worker_id: str, ttl: float) -> Lease | None:
+        """Atomically publish a fully-written lease; loser gets ``None``.
+
+        The lease content is written to a worker-unique temp file
+        first and published with ``os.link`` — link creation fails
+        with ``FileExistsError`` for all but exactly one caller (the
+        ``O_EXCL`` exclusivity semantics), and unlike a bare ``O_EXCL``
+        create-then-write, concurrent readers can never observe an
+        empty or half-written lease.
+        """
+        now = time.time()
+        lease = Lease(
+            task_id=task_id,
+            worker_id=worker_id,
+            claimed_at=now,
+            heartbeat_at=now,
+            ttl=ttl,
+        )
+        path = self.lease_path(task_id)
+        tmp = path.with_name(f".{task_id}.claim.{worker_id}.{os.getpid()}")
+        tmp.write_text(json.dumps(lease.to_dict(), sort_keys=True) + "\n")
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return None
+        finally:
+            os.unlink(tmp)
+        return lease
+
+    def _reclaim(self, task_id: str, lease: Lease, reclaimer: str) -> bool:
+        """Tombstone an expired lease; exactly one caller wins the rename."""
+        tombstone = self._dir("reclaimed") / (
+            f"{task_id}.{int(lease.heartbeat_at * 1e3)}.{reclaimer}.{os.getpid()}.json"
+        )
+        try:
+            os.rename(self.lease_path(task_id), tombstone)
+        except FileNotFoundError:
+            return False  # someone else reclaimed (or released) it first
+        return True
+
+    def reclaim_expired(self, reclaimer: str = "reclaimer") -> int:
+        """Tombstone every expired lease; returns how many were reclaimed."""
+        count = 0
+        now = time.time()
+        for path in self._dir("leases").glob("*.json"):
+            task_id = path.stem
+            lease = self.read_lease(task_id)
+            if lease is not None and lease.expired(now):
+                if self._reclaim(task_id, lease, reclaimer):
+                    count += 1
+        return count
+
+    def claim(self, worker_id: str, ttl: float = DEFAULT_TTL) -> QueueTask | None:
+        """Atomically claim the first available task (``None`` = drained/busy).
+
+        Walks the deterministic task order, skipping terminal tasks;
+        an existing live lease skips the task, an expired one is
+        tombstoned (rename — single winner) and the claim retried.
+        """
+        if ttl <= 0:
+            raise ConfigurationError(f"lease ttl must be > 0, got {ttl}")
+        validate_worker_id(worker_id)
+        ids = self.task_ids()
+        for step in range(len(ids)):
+            index = (self._cursor + step) % len(ids)
+            task_id = ids[index]
+            if self.is_terminal(task_id):
+                continue
+            lease = self._try_claim(task_id, worker_id, ttl)
+            if lease is None:
+                current = self.read_lease(task_id)
+                if current is None or not current.expired(time.time()):
+                    continue  # live claim (or just released+finished): skip
+                if not self._reclaim(task_id, current, worker_id):
+                    continue  # lost the reclaim race
+                lease = self._try_claim(task_id, worker_id, ttl)
+                if lease is None:
+                    continue  # a third worker claimed between our two steps
+            if self.is_terminal(task_id):
+                # Completed between our terminal check and the claim
+                # (complete() removes the lease *after* the marker, so
+                # the marker check here is authoritative).
+                self.release(task_id, worker_id)
+                continue
+            self._cursor = (index + 1) % len(ids)
+            return self.load_task(task_id)
+        return None
+
+    def heartbeat(self, task_id: str, worker_id: str) -> bool:
+        """Renew ``worker_id``'s lease; ``False`` means the lease was lost.
+
+        A worker whose heartbeat returns ``False`` (its lease expired
+        and was reclaimed — e.g. the process was stopped for longer
+        than the TTL) must treat the task as no longer its own and
+        must not write a terminal marker for it.
+        """
+        lease = self.read_lease(task_id)
+        if lease is None or lease.worker_id != worker_id:
+            return False
+        _atomic_write_json(
+            self.lease_path(task_id), lease.renewed(time.time()).to_dict()
+        )
+        return True
+
+    def release(self, task_id: str, worker_id: str) -> None:
+        """Drop ``worker_id``'s lease (no-op if it is not the holder)."""
+        lease = self.read_lease(task_id)
+        if lease is not None and lease.worker_id == worker_id:
+            try:
+                os.unlink(self.lease_path(task_id))
+            except FileNotFoundError:
+                pass
+
+    # -------------------------------------------------------------- outcomes
+
+    def append_record(self, worker_id: str, record) -> str:
+        """Durably append one record to the worker's spool shard.
+
+        The line is flushed and fsynced before the caller writes the
+        ``done`` marker, so a completed task's record is on disk
+        strictly before the task stops being re-claimable.
+
+        If a previous incarnation of this worker id was killed
+        mid-append, the shard may end in a torn (newline-less) line;
+        it is truncated away first.  That is always safe: the done
+        marker of a task is written only after its fully-terminated
+        line was fsynced, so a torn tail can never belong to a
+        completed task — its task is still claimable and will be
+        re-executed.
+        """
+        shard = self.shard_path(validate_worker_id(worker_id))
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with shard.open("a+b") as handle:
+            self._truncate_torn_tail(handle)
+            handle.write(line.encode() + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return shard.name
+
+    @staticmethod
+    def _truncate_torn_tail(handle) -> None:
+        """Drop a trailing newline-less fragment left by a killed writer."""
+        size = handle.seek(0, os.SEEK_END)
+        if size == 0:
+            return
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return
+        # Walk back to the last completed line (chunked, so a long torn
+        # record does not force a byte-at-a-time scan).
+        pos = size - 1
+        while pos > 0:
+            start = max(0, pos - 4096)
+            handle.seek(start)
+            chunk = handle.read(pos - start)
+            cut = chunk.rfind(b"\n")
+            if cut != -1:
+                handle.truncate(start + cut + 1)
+                handle.seek(0, os.SEEK_END)
+                return
+            pos = start
+        handle.truncate(0)
+
+    def complete(self, task: QueueTask, worker_id: str, shard: str) -> TaskOutcome:
+        """Mark a task done (marker first, then lease release)."""
+        outcome = TaskOutcome(
+            task_id=task.task_id,
+            run_id=task.run_id,
+            worker_id=worker_id,
+            status="done",
+            shard=shard,
+        )
+        _atomic_write_json(self.outcome_path(task.task_id, "done"), outcome.to_dict())
+        self.release(task.task_id, worker_id)
+        return outcome
+
+    def fail(self, task: QueueTask, worker_id: str, error: str) -> TaskOutcome:
+        """Mark a task permanently failed (marker first, then release)."""
+        outcome = TaskOutcome(
+            task_id=task.task_id,
+            run_id=task.run_id,
+            worker_id=worker_id,
+            status="failed",
+            error=error,
+        )
+        _atomic_write_json(self.outcome_path(task.task_id, "failed"), outcome.to_dict())
+        self.release(task.task_id, worker_id)
+        return outcome
+
+    def read_outcome(self, task_id: str) -> TaskOutcome | None:
+        for status in ("done", "failed"):
+            payload = _read_json(self.outcome_path(task_id, status))
+            if payload is not None:
+                return TaskOutcome.from_dict(payload)
+        return None
+
+    def outcomes(self) -> list[TaskOutcome]:
+        found = []
+        for status in ("done", "failed"):
+            for path in sorted(self._dir(status).glob("*.json")):
+                payload = _read_json(path)
+                if payload is not None:
+                    found.append(TaskOutcome.from_dict(payload))
+        return found
+
+    # ----------------------------------------------------------------- status
+
+    def status(self, with_workers: bool = False) -> QueueStatus:
+        """One scan of the store's directories, summarised.
+
+        ``with_workers`` additionally reads every done marker to build
+        the per-worker completion breakdown — an O(done) JSON pass
+        that per-task progress reporting should not pay, so it is
+        opt-in (``repro campaign status`` wants it, worker loops
+        don't).
+        """
+        total = self.n_tasks
+        done_ids = {p.stem for p in self._dir("done").glob("*.json")}
+        failed_ids = {p.stem for p in self._dir("failed").glob("*.json")}
+        now = time.time()
+        claimed = expired = 0
+        for path in self._dir("leases").glob("*.json"):
+            if path.stem in done_ids or path.stem in failed_ids:
+                continue  # release raced the scan; terminal wins
+            lease = self.read_lease(path.stem)
+            if lease is None:
+                continue
+            if lease.expired(now):
+                expired += 1
+            else:
+                claimed += 1
+        workers: dict[str, int] = {}
+        if with_workers:
+            for task_id in sorted(done_ids):
+                outcome = self.read_outcome(task_id)
+                if outcome is not None:
+                    workers[outcome.worker_id] = workers.get(outcome.worker_id, 0) + 1
+        done, failed = len(done_ids), len(failed_ids)
+        return QueueStatus(
+            total=total,
+            pending=max(0, total - done - failed - claimed - expired),
+            claimed=claimed,
+            expired=expired,
+            done=done,
+            failed=failed,
+            workers=workers,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueueStore({os.fspath(self.queue_dir)!r})"
+
+
+# Re-exported for callers that build task ids by hand (tests, tools).
+__all__ = [
+    "DEFAULT_TTL",
+    "LAYOUT_VERSION",
+    "QueueStore",
+    "task_id_for",
+    "validate_worker_id",
+]

@@ -1,0 +1,258 @@
+"""Queue workers: claim → solve → spool → mark done, with heartbeats.
+
+A :class:`QueueWorker` is one draining loop over a
+:class:`~repro.queue.store.QueueStore`.  Any number of workers — in
+one process, many processes, or many hosts sharing the queue
+directory — run the same loop; the store's lease protocol guarantees
+each task executes under exactly one live lease at a time.
+
+Execution reuses the campaign machinery wholesale:
+:func:`repro.campaign.executor.run_one` solves each task through the
+per-process memoised :class:`~repro.api.session.SolverSession` (and
+the PR 3 disk trajectory cache via ``REPRO_CACHE_DIR``), so a queue
+worker is exactly as fast per task as a process-pool worker.
+
+While a solve runs, a daemon heartbeat thread renews the task's lease
+every ``ttl / 4`` seconds; if the renewal discovers the lease lost
+(the worker was stalled past the TTL and another worker reclaimed the
+task), the result is discarded instead of spooled — the reclaimer owns
+the task now, and determinism makes its record identical anyway.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import secrets
+import socket
+import threading
+import time
+import traceback
+from typing import Callable
+
+from ..campaign.results import CampaignRunRecord
+from ..exceptions import ConfigurationError
+from .state import QueueStatus, QueueTask
+from .store import DEFAULT_TTL, QueueStore, validate_worker_id
+
+
+def default_worker_id() -> str:
+    """Unique per worker process *incarnation* (host + pid + nonce).
+
+    The nonce matters: a restarted worker on the same host/pid must
+    not be confused with its dead predecessor when lease ownership is
+    checked.
+    """
+    host = socket.gethostname().split(".")[0] or "host"
+    return f"{host}-{os.getpid()}-{secrets.token_hex(3)}"
+
+
+@dataclasses.dataclass
+class WorkerSummary:
+    """What one :meth:`QueueWorker.run` loop did."""
+
+    worker_id: str
+    claimed: int = 0
+    done: int = 0
+    failed: int = 0
+    #: Results computed but discarded because the lease was lost.
+    abandoned: int = 0
+    #: Total seconds spent inside solves (ETA estimation).
+    busy_seconds: float = 0.0
+
+    @property
+    def seconds_per_task(self) -> float | None:
+        finished = self.done + self.failed
+        return self.busy_seconds / finished if finished else None
+
+
+#: Progress callback: (summary, queue status, record-or-None for the
+#: task just finished).
+WorkerProgressFn = Callable[[WorkerSummary, QueueStatus, "CampaignRunRecord | None"], None]
+
+
+class _HeartbeatThread(threading.Thread):
+    """Renews one task's lease until stopped; flags a lost lease."""
+
+    def __init__(self, store: QueueStore, task_id: str, worker_id: str, every: float):
+        super().__init__(name=f"heartbeat-{task_id}", daemon=True)
+        self._store = store
+        self._task_id = task_id
+        self._worker_id = worker_id
+        self._every = every
+        # (Not named ``_stop``: that would shadow threading.Thread's
+        # internal ``_stop()`` method.)
+        self._halt = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        while not self._halt.wait(self._every):
+            try:
+                if not self._store.heartbeat(self._task_id, self._worker_id):
+                    self.lost = True
+                    return
+            except OSError:
+                # A transient filesystem error must not kill the
+                # heartbeat; the next tick retries within the TTL.
+                continue
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=self._every + 5.0)
+
+
+class QueueWorker:
+    """One worker process's draining loop over a queue store."""
+
+    def __init__(
+        self,
+        store: QueueStore,
+        worker_id: str | None = None,
+        *,
+        ttl: float = DEFAULT_TTL,
+        poll_interval: float = 0.5,
+        progress: WorkerProgressFn | None = None,
+        status_interval: float = 1.0,
+    ):
+        if ttl <= 0:
+            raise ConfigurationError(f"lease ttl must be > 0, got {ttl}")
+        self.store = store
+        self.worker_id = validate_worker_id(worker_id or default_worker_id())
+        self.ttl = float(ttl)
+        self.poll_interval = float(poll_interval)
+        self.progress = progress
+        #: Minimum seconds between the full queue-directory scans that
+        #: feed the progress callback's :class:`QueueStatus`.  A scan
+        #: is O(tasks), so scanning after *every* task would make a
+        #: drain O(tasks²) in filesystem operations; between refreshes
+        #: the cached status is advanced with this worker's own
+        #: counters (``0`` forces a fresh scan per task — tests).
+        self.status_interval = float(status_interval)
+        self.summary = WorkerSummary(worker_id=self.worker_id)
+        self._status_cache: "QueueStatus | None" = None
+        self._status_at = float("-inf")
+
+    # ------------------------------------------------------------------ loop
+
+    def run(self, max_tasks: int | None = None, wait: bool = False) -> WorkerSummary:
+        """Claim and execute tasks until the queue offers none.
+
+        ``wait=True`` keeps polling until every task is terminal (so a
+        worker outlives peers whose in-flight leases may yet expire);
+        the default returns as soon as nothing is claimable.
+        ``max_tasks`` bounds this call (testing, time-sliced workers).
+        """
+        while max_tasks is None or self.summary.claimed < max_tasks:
+            task = self.store.claim(self.worker_id, ttl=self.ttl)
+            if task is None:
+                if not wait or self.store.status().drained:
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            self.summary.claimed += 1
+            self._execute(task)
+        return self.summary
+
+    def _execute(self, task: QueueTask) -> None:
+        from ..campaign.executor import run_one
+
+        heartbeat = _HeartbeatThread(
+            self.store, task.task_id, self.worker_id, every=self.ttl / 4.0
+        )
+        heartbeat.start()
+        started = time.perf_counter()
+        record: CampaignRunRecord | None = None
+        error: str | None = None
+        try:
+            record = run_one(task.run)
+        except KeyboardInterrupt:
+            # Leave no stale lease behind: the task goes straight back
+            # to claimable instead of waiting out the TTL.
+            heartbeat.stop()
+            self.store.release(task.task_id, self.worker_id)
+            raise
+        except Exception:
+            error = traceback.format_exc(limit=20)
+        finally:
+            heartbeat.stop()
+        self.summary.busy_seconds += time.perf_counter() - started
+
+        if heartbeat.lost:
+            # The lease expired mid-solve and someone reclaimed the
+            # task; the result is theirs to produce (identically).
+            self.summary.abandoned += 1
+        elif error is not None:
+            # A *failure* marker is permanent and, unlike the done
+            # path, has no dedupe-and-verify safety net — so before
+            # writing one, re-verify lease ownership directly (the
+            # heartbeat thread only samples every ttl/4 seconds, and a
+            # stalled worker may have lost the task to a reclaimer
+            # who completed it successfully).
+            lease = self.store.read_lease(task.task_id)
+            if lease is None or lease.worker_id != self.worker_id:
+                self.summary.abandoned += 1
+            else:
+                self.store.fail(task, self.worker_id, error)
+                self.summary.failed += 1
+        else:
+            shard = self.store.append_record(self.worker_id, record)
+            self.store.complete(task, self.worker_id, shard)
+            self.summary.done += 1
+
+        if self.progress is not None:
+            self.progress(self.summary, self._progress_status(), record)
+
+    def _progress_status(self) -> "QueueStatus":
+        """Queue status for progress lines, at bounded scan cost.
+
+        A full directory scan runs at most once per
+        ``status_interval`` seconds; in between, the cached snapshot
+        is advanced by this worker's own completions (done up, pending
+        down), which keeps the per-task progress line honest about
+        *this* worker at O(1) cost and merely slightly stale about its
+        peers.
+        """
+        now = time.monotonic()
+        if (
+            self._status_cache is None
+            or now - self._status_at >= self.status_interval
+        ):
+            self._status_cache = self.store.status()
+            self._status_at = now
+            self._counts_at_scan = (self.summary.done, self.summary.failed)
+            return self._status_cache
+        done_extra = self.summary.done - self._counts_at_scan[0]
+        failed_extra = self.summary.failed - self._counts_at_scan[1]
+        cached = self._status_cache
+        return dataclasses.replace(
+            cached,
+            done=cached.done + done_extra,
+            failed=cached.failed + failed_extra,
+            pending=max(0, cached.pending - done_extra - failed_extra),
+        )
+
+
+def run_worker(
+    queue_dir,
+    *,
+    worker_id: str | None = None,
+    ttl: float = DEFAULT_TTL,
+    max_tasks: int | None = None,
+    wait: bool = False,
+    cache_dir: str | None = None,
+    progress: WorkerProgressFn | None = None,
+) -> WorkerSummary:
+    """Convenience wrapper: open the store and drain it.
+
+    ``cache_dir`` exports ``REPRO_CACHE_DIR`` for the duration of the
+    loop (the same contract as ``repro campaign run --cache-dir``), so
+    workers on one host share reference trajectories through disk.
+    """
+    from ..campaign.executor import cache_dir_env
+
+    store = QueueStore(queue_dir)
+    worker = QueueWorker(
+        store, worker_id=worker_id, ttl=ttl, progress=progress
+    )
+    with cache_dir_env(cache_dir):
+        return worker.run(max_tasks=max_tasks, wait=wait)

@@ -32,6 +32,52 @@ def small_result() -> CampaignResult:
     return execute_campaign(spec, workers=0)
 
 
+class TestCanonicalOrdering:
+    def test_shuffled_records_serialise_identically(self, small_result, tmp_path):
+        # Regression guard for result nondeterminism: however the
+        # records were produced or permuted (pool scheduling, queue
+        # workers finishing out of order), the serialised JSON and CSV
+        # are byte-identical because CampaignResult sorts by run key.
+        import random
+
+        shuffled = list(small_result.records)
+        random.Random(7).shuffle(shuffled)
+        assert shuffled != small_result.records  # the permutation is real
+        permuted = CampaignResult(spec=small_result.spec, records=shuffled)
+
+        a = small_result.to_json(tmp_path / "a.json")
+        b = permuted.to_json(tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+        c = small_result.to_csv(tmp_path / "a.csv")
+        d = permuted.to_csv(tmp_path / "b.csv")
+        assert c.read_bytes() == d.read_bytes()
+
+    def test_loading_restores_canonical_order(self, small_result, tmp_path):
+        path = small_result.to_json(tmp_path / "result.json")
+        loaded = CampaignResult.from_json(path)
+        run_ids = [r.run_id for r in loaded]
+        assert run_ids == sorted(run_ids)
+
+
+class TestMerge:
+    def test_merge_deduplicates_equal_records(self, small_result):
+        merged = CampaignResult.merge(
+            small_result.spec,
+            [small_result.records, small_result.records[:3]],
+        )
+        assert merged.records == small_result.records
+
+    def test_merge_rejects_conflicting_duplicates(self, small_result):
+        import dataclasses
+
+        tampered = dataclasses.replace(small_result.records[0], iterations=999)
+        with pytest.raises(ConfigurationError, match="conflicting duplicate"):
+            CampaignResult.merge(
+                small_result.spec, [small_result.records, [tampered]]
+            )
+
+
 class TestJsonRoundTrip:
     def test_lossless(self, small_result, tmp_path):
         path = small_result.to_json(tmp_path / "result.json")

@@ -1,0 +1,30 @@
+"""Shared fixtures for the durable work-queue tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec, ScenarioSpec, StrategySpec
+
+
+def queue_spec(**overrides) -> CampaignSpec:
+    """A small, fast sweep (4 runs by default) for queue-level tests."""
+    defaults = dict(
+        name="queue-unit",
+        problems=(("emilia_923_like", "tiny"),),
+        n_nodes=4,
+        strategies=(StrategySpec("esr"), StrategySpec("esrp", (10,))),
+        phis=(1,),
+        scenarios=(
+            ScenarioSpec.make("failure_free"),
+            ScenarioSpec.make("worst_case", location="start"),
+        ),
+        repetitions=1,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+@pytest.fixture
+def spec() -> CampaignSpec:
+    return queue_spec()

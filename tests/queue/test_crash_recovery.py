@@ -1,0 +1,142 @@
+"""Crash recovery: SIGKILL a real worker process mid-sweep, resume, verify.
+
+The acceptance property of the queue subsystem (and the poetic heart
+of this PR — checkpoint-recovery for the sweep infrastructure itself):
+
+* no completed run is lost (its spooled record survives the kill),
+* at most the in-flight tasks are re-executed after the lease TTL,
+* the collected result is byte-identical to a serial run.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import execute_campaign
+from repro.queue import QueueStore, collect, iter_shard_records, run_worker
+
+from .conftest import queue_spec
+
+pytestmark = [pytest.mark.campaign, pytest.mark.integration, pytest.mark.slow]
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+#: Enough runs that the worker is reliably mid-sweep when killed.
+CRASH_SPEC = queue_spec(name="crash", repetitions=3)  # 12 tasks
+
+#: Worker child that sleeps before each solve, so the kill window per
+#: task is wide and deterministic-enough without being slow.
+CHILD_TEMPLATE = """
+import sys, time
+sys.path.insert(0, {src!r})
+import repro.campaign.executor as executor_module
+real_run_one = executor_module.run_one
+def slowed(run):
+    time.sleep({delay})
+    return real_run_one(run)
+executor_module.run_one = slowed
+from repro.queue import run_worker
+run_worker({queue!r}, worker_id={worker_id!r}, ttl={ttl})
+"""
+
+
+def _spawn_worker(queue_dir, worker_id, delay=0.25, ttl=1.5) -> subprocess.Popen:
+    code = CHILD_TEMPLATE.format(
+        src=SRC, queue=str(queue_dir), worker_id=worker_id, delay=delay, ttl=ttl
+    )
+    return subprocess.Popen(
+        [sys.executable, "-c", code],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+
+def _wait_for_done(store, minimum, timeout=60.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if store.status().done >= minimum:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"worker never completed {minimum} task(s)")
+
+
+def test_sigkilled_worker_loses_no_completed_work(tmp_path):
+    queue_dir = tmp_path / "queue"
+    store = QueueStore.submit(CRASH_SPEC, queue_dir)
+    total = store.n_tasks
+
+    victim = _spawn_worker(queue_dir, "victim", delay=0.25, ttl=1.5)
+    try:
+        _wait_for_done(store, minimum=2)
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        victim.wait(timeout=30)
+
+    status = store.status()
+    survived = status.done
+    assert 2 <= survived < total, "kill landed outside the sweep window"
+    # The victim's in-flight claim (if any) is stranded until its TTL.
+    assert status.claimed + status.expired <= 1
+
+    # Recovery: a fresh worker (same TTL, wait=True so it outlives the
+    # stranded lease) drains the remainder.
+    summary = run_worker(queue_dir, worker_id="rescuer", ttl=1.5, wait=True)
+    assert store.status().drained
+
+    # No completed run was lost: the rescuer executed only what was
+    # missing, plus at most the single in-flight task.
+    assert summary.done <= (total - survived) + 1
+    assert summary.done >= total - survived
+
+    # At most the in-flight task was re-executed: spool lines (incl.
+    # duplicates) exceed the task count by at most one.
+    spooled = sum(
+        1
+        for shard in (queue_dir / "spool").glob("*.jsonl")
+        for _ in iter_shard_records(shard)
+    )
+    assert total <= spooled <= total + 1
+
+    # And the merged result is byte-identical to a serial run.
+    merged = collect(queue_dir)
+    serial = execute_campaign(CRASH_SPEC, workers=0)
+    a = serial.to_json(tmp_path / "serial.json")
+    b = merged.to_json(tmp_path / "merged.json")
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_two_concurrent_worker_processes_partition_the_queue(tmp_path):
+    queue_dir = tmp_path / "queue"
+    store = QueueStore.submit(CRASH_SPEC, queue_dir)
+    total = store.n_tasks
+
+    workers = [
+        _spawn_worker(queue_dir, f"proc{i}", delay=0.05, ttl=30.0)
+        for i in range(2)
+    ]
+    for proc in workers:
+        _, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 0, stderr.decode()
+
+    status = store.status(with_workers=True)
+    assert status.drained and status.failed == 0
+    # Both processes did real work and no task ran twice.
+    assert sorted(status.workers) == ["proc0", "proc1"]
+    assert sum(status.workers.values()) == total
+    spooled = sum(
+        1
+        for shard in (queue_dir / "spool").glob("*.jsonl")
+        for _ in iter_shard_records(shard)
+    )
+    assert spooled == total
+
+    merged = collect(queue_dir)
+    serial = execute_campaign(CRASH_SPEC, workers=0)
+    a = serial.to_json(tmp_path / "serial.json")
+    b = merged.to_json(tmp_path / "merged.json")
+    assert a.read_bytes() == b.read_bytes()

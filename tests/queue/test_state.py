@@ -1,0 +1,109 @@
+"""Queue-state dataclasses: validation, expiry logic, JSON round-trips."""
+
+import pytest
+
+from repro.campaign.spec import expand_spec
+from repro.exceptions import ConfigurationError
+from repro.queue import Lease, QueueStatus, QueueTask, TaskOutcome
+
+from .conftest import queue_spec
+
+pytestmark = pytest.mark.campaign
+
+
+def _lease(**overrides) -> Lease:
+    defaults = dict(
+        task_id="000001-abc", worker_id="w1",
+        claimed_at=100.0, heartbeat_at=100.0, ttl=10.0,
+    )
+    defaults.update(overrides)
+    return Lease(**defaults)
+
+
+class TestQueueTask:
+    def test_round_trip(self):
+        run = expand_spec(queue_spec())[0]
+        task = QueueTask(task_id="000000-deadbeef00", run=run)
+        loaded = QueueTask.from_dict(task.to_dict())
+        assert loaded == task
+        assert loaded.run_id == run.run_id
+
+    def test_empty_id_rejected(self):
+        run = expand_spec(queue_spec())[0]
+        with pytest.raises(ConfigurationError):
+            QueueTask(task_id="", run=run)
+
+
+class TestLease:
+    def test_round_trip(self):
+        lease = _lease()
+        assert Lease.from_dict(lease.to_dict()) == lease
+
+    def test_expiry_window(self):
+        lease = _lease()
+        assert not lease.expired(109.9)
+        assert lease.expired(110.0)
+
+    def test_renewed_extends_expiry(self):
+        lease = _lease().renewed(105.0)
+        assert lease.heartbeat_at == 105.0
+        assert lease.expires_at == 115.0
+        assert lease.claimed_at == 100.0  # the original claim is kept
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _lease(ttl=0.0)
+
+    def test_heartbeat_before_claim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _lease(heartbeat_at=99.0)
+
+
+class TestTaskOutcome:
+    def test_done_round_trip(self):
+        outcome = TaskOutcome(
+            task_id="000000-ab", run_id="r", worker_id="w1",
+            status="done", shard="w1.jsonl",
+        )
+        assert TaskOutcome.from_dict(outcome.to_dict()) == outcome
+
+    def test_failed_round_trip(self):
+        outcome = TaskOutcome(
+            task_id="000000-ab", run_id="r", worker_id="w1",
+            status="failed", error="boom",
+        )
+        assert TaskOutcome.from_dict(outcome.to_dict()) == outcome
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskOutcome(task_id="t", run_id="r", worker_id="w", status="maybe")
+
+    def test_done_requires_shard(self):
+        with pytest.raises(ConfigurationError):
+            TaskOutcome(task_id="t", run_id="r", worker_id="w", status="done")
+
+
+class TestQueueStatus:
+    def test_round_trip_and_counters(self):
+        status = QueueStatus(
+            total=10, pending=3, claimed=2, expired=1, done=3, failed=1,
+            workers={"w1": 2, "w2": 1},
+        )
+        assert QueueStatus.from_dict(status.to_dict()) == status
+        assert status.remaining == 6
+        assert not status.drained
+
+    def test_drained(self):
+        status = QueueStatus(
+            total=4, pending=0, claimed=0, expired=0, done=4, failed=0
+        )
+        assert status.drained
+        assert "4/4 done" in status.render()
+
+    def test_render_flags_failures_and_expiry(self):
+        status = QueueStatus(
+            total=4, pending=0, claimed=1, expired=1, done=1, failed=1
+        )
+        text = status.render()
+        assert "1 FAILED" in text
+        assert "expired" in text

@@ -1,0 +1,277 @@
+"""Worker loop + collector: equivalence with serial execution, dedupe,
+partial collection, failure surfacing."""
+
+import json
+
+import pytest
+
+from repro.campaign import execute_campaign
+from repro.campaign.spec import expand_spec
+from repro.exceptions import ConfigurationError
+from repro.queue import QueueStore, QueueWorker, collect, run_worker
+
+from .conftest import queue_spec
+
+pytestmark = pytest.mark.campaign
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return execute_campaign(queue_spec(), workers=0)
+
+
+class TestWorkerLoop:
+    def test_single_worker_drains_and_collect_matches_serial_bytes(
+        self, spec, serial_result, tmp_path
+    ):
+        queue_dir = tmp_path / "queue"
+        QueueStore.submit(spec, queue_dir)
+        summary = run_worker(queue_dir, worker_id="w1")
+        assert summary.done == len(expand_spec(spec))
+        assert summary.failed == summary.abandoned == 0
+
+        merged = collect(queue_dir)
+        a = serial_result.to_json(tmp_path / "serial.json")
+        b = merged.to_json(tmp_path / "queued.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_two_sequential_workers_split_the_queue(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        first = run_worker(queue_dir, worker_id="w1", max_tasks=2)
+        second = run_worker(queue_dir, worker_id="w2")
+        assert first.done == 2
+        assert second.done == store.n_tasks - 2
+        assert store.status(with_workers=True).workers == {
+            "w1": 2, "w2": store.n_tasks - 2,
+        }
+        assert len(collect(queue_dir).records) == store.n_tasks
+
+    def test_progress_callback_sees_every_task(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        seen = []
+        worker = QueueWorker(
+            store, worker_id="w1",
+            progress=lambda summary, status, record: seen.append(
+                (summary.done, status.done, record.run_id)
+            ),
+        )
+        worker.run()
+        assert [done for done, _, _ in seen] == list(range(1, store.n_tasks + 1))
+        # the queue-wide status the progress line renders tracks along
+        assert [qdone for _, qdone, _ in seen] == list(range(1, store.n_tasks + 1))
+
+    def test_error_after_lost_lease_writes_no_failure_marker(
+        self, spec, tmp_path, monkeypatch
+    ):
+        # A stalled worker that lost its lease to a reclaimer must not
+        # write a permanent failed/ marker when its own (now moot)
+        # solve errors out — the reclaimer owns the task.
+        import repro.campaign.executor as executor_module
+
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+
+        def steal_then_explode(run):
+            # Simulate the TTL expiring mid-solve: the lease is
+            # tombstoned and re-claimed by another worker.
+            task_id = store.task_ids()[0]
+            lease = store.read_lease(task_id)
+            store._reclaim(task_id, lease, "thief")
+            store._try_claim(task_id, "thief", 60.0)
+            raise MemoryError("stall victim finally died")
+
+        monkeypatch.setattr(executor_module, "run_one", steal_then_explode)
+        worker = QueueWorker(store, worker_id="w1")
+        worker.run(max_tasks=1)
+        assert worker.summary.abandoned == 1
+        assert worker.summary.failed == 0
+        assert store.read_outcome(store.task_ids()[0]) is None  # no marker
+
+    def test_path_escaping_worker_id_rejected_eagerly(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        # ("" is not here: a falsy id means "generate a default".)
+        for bad in ("../evil", "a/b", ".hidden", "w1\n"):
+            with pytest.raises(ConfigurationError, match="invalid worker id"):
+                QueueWorker(store, worker_id=bad)
+        with pytest.raises(ConfigurationError, match="invalid worker id"):
+            store.claim("../evil", ttl=60)
+
+    def test_failed_task_is_marked_and_surfaced(self, tmp_path, monkeypatch):
+        import repro.campaign.executor as executor_module
+
+        spec = queue_spec()
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        poisoned = store.task_ids()[1]
+        real_run_one = executor_module.run_one
+
+        def exploding(run):
+            if run.run_id == store.load_task(poisoned).run_id:
+                raise ZeroDivisionError("injected fault")
+            return real_run_one(run)
+
+        monkeypatch.setattr(executor_module, "run_one", exploding)
+        summary = run_worker(queue_dir, worker_id="w1")
+        assert summary.failed == 1
+        assert summary.done == store.n_tasks - 1
+        outcome = store.read_outcome(poisoned)
+        assert outcome.status == "failed"
+        assert "ZeroDivisionError" in outcome.error
+
+        with pytest.raises(ConfigurationError, match="failed task"):
+            collect(queue_dir)
+        partial = collect(queue_dir, allow_partial=True)
+        assert len(partial.records) == store.n_tasks - 1
+
+
+class TestTornShardRepair:
+    def test_restarted_worker_id_repairs_its_torn_shard(self, spec, tmp_path):
+        # A worker killed mid-append leaves a newline-less fragment; a
+        # restarted worker with the SAME id must not concatenate onto
+        # it (that would corrupt a mid-file line and make the queue
+        # uncollectable forever).
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1", max_tasks=2)
+        shard = store.shard_path("w1")
+        with shard.open("a") as handle:
+            handle.write('{"torn": "frag')  # killed mid-append
+        summary = run_worker(queue_dir, worker_id="w1")  # same id restarts
+        assert summary.done == store.n_tasks - 2
+        lines = shard.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)  # every line parses
+        merged = collect(queue_dir)
+        assert len(merged.records) == store.n_tasks
+
+    def test_torn_fragment_longer_than_scan_chunk(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1", max_tasks=1)
+        shard = store.shard_path("w1")
+        with shard.open("a") as handle:
+            handle.write("x" * 10_000)  # torn tail spanning chunks
+        run_worker(queue_dir, worker_id="w1")
+        assert len(collect(queue_dir).records) == store.n_tasks
+
+
+class TestProgressStatusThrottle:
+    def test_full_scans_are_rate_limited(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        scans = 0
+        real_status = store.status
+
+        def counting_status(*args, **kwargs):
+            nonlocal scans
+            scans += 1
+            return real_status(*args, **kwargs)
+
+        store.status = counting_status
+        seen = []
+        worker = QueueWorker(
+            store, worker_id="w1", status_interval=3600.0,
+            progress=lambda summary, status, record: seen.append(status.done),
+        )
+        worker.run()
+        assert scans == 1  # one scan; later lines advance the cache
+        # ...and the advanced cache still counts this worker honestly.
+        assert seen == list(range(1, store.n_tasks + 1))
+
+
+class TestQueueModeExecutor:
+    def test_execute_campaign_queue_dir_matches_serial_bytes(
+        self, spec, serial_result, tmp_path
+    ):
+        result = execute_campaign(spec, workers=2, queue_dir=tmp_path / "queue")
+        a = serial_result.to_json(tmp_path / "serial.json")
+        b = result.to_json(tmp_path / "queued.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_execute_campaign_resumes_a_half_drained_queue(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1", max_tasks=2)  # partial drain
+        result = execute_campaign(spec, workers=1, queue_dir=queue_dir)
+        assert len(result.records) == store.n_tasks
+
+    def test_execute_campaign_waits_out_an_orphaned_lease(self, spec, tmp_path):
+        # A killed driver leaves a live-but-orphaned lease behind; the
+        # resumed run must poll past its TTL and reclaim the task
+        # rather than give up with "not drained".
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        orphan = store.claim("ghost", ttl=0.6)  # never heartbeats again
+        result = execute_campaign(spec, workers=1, queue_dir=queue_dir)
+        assert len(result.records) == store.n_tasks
+        assert orphan.task_id in {p.stem for p in (queue_dir / "done").glob("*")}
+
+    def test_execute_campaign_refuses_foreign_queue(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        QueueStore.submit(queue_spec(name="other", repetitions=2), queue_dir)
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            execute_campaign(spec, workers=1, queue_dir=queue_dir)
+
+
+class TestCollect:
+    def test_duplicate_identical_records_are_merged(self, spec, tmp_path):
+        # A crash between spool-append and done-marker makes the task
+        # run twice; determinism makes both records byte-equal and the
+        # collector must fold them into one.
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1")
+        shard = store.shard_path("w1")
+        first_line = shard.read_text().splitlines()[0]
+        store.shard_path("w2").write_text(first_line + "\n")  # duplicate shard
+        merged = collect(queue_dir)
+        assert len(merged.records) == store.n_tasks
+
+    def test_conflicting_duplicates_rejected(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1")
+        payload = json.loads(store.shard_path("w1").read_text().splitlines()[0])
+        payload["iterations"] += 1  # a determinism bug, in effigy
+        store.shard_path("w2").write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ConfigurationError, match="conflicting duplicate"):
+            collect(queue_dir)
+
+    def test_torn_final_line_is_ignored(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1")
+        with store.shard_path("w1").open("a") as handle:
+            handle.write('{"run_id": "half-written')  # no newline: torn append
+        assert len(collect(queue_dir).records) == store.n_tasks
+
+    def test_torn_middle_line_is_an_error(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1")
+        lines = store.shard_path("w1").read_text().splitlines()
+        lines[0] = '{"broken'
+        store.shard_path("w1").write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="invalid record JSON"):
+            collect(queue_dir)
+
+    def test_undrained_queue_refused_without_allow_partial(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1", max_tasks=1)
+        with pytest.raises(ConfigurationError, match="not drained"):
+            collect(queue_dir)
+        assert len(collect(queue_dir, allow_partial=True).records) == 1
+        del store
+
+    def test_stray_records_always_rejected(self, spec, tmp_path):
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1")
+        payload = json.loads(store.shard_path("w1").read_text().splitlines()[0])
+        payload["run_id"] = "not:a:known:run"
+        store.shard_path("w2").write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ConfigurationError, match="not in the task store"):
+            collect(queue_dir, allow_partial=True)
