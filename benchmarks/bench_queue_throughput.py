@@ -1,20 +1,39 @@
-"""Queue-throughput benchmark: tasks/sec scaling from 1 to 8 workers.
+"""Queue benchmark: worker scaling, affine claiming, spool compaction.
 
-Submits one reference sweep (tiny Emilia-like campaign) to a fresh
-on-disk queue per worker count, drains it with N independent
-``repro campaign worker`` subprocesses, and records tasks/sec into
-``BENCH_queue.json``.  Every configuration's collected result must be
-byte-identical to the single-worker one — the determinism contract of
-:mod:`repro.queue` — which doubles as the benchmark's correctness
-gate.
+Three cell families, all recorded into ``BENCH_queue.json``:
 
-The acceptance gate (``--check``) is host-aware: on a multi-core host
-the 2-worker configuration must reach >= 1.15x the single-worker
-throughput; on a single-core host (where no parallel speedup is
-physically available — the solves are CPU-bound) it must stay within
-2x of it, i.e. the coordination overhead of leases/heartbeats/spools
-is bounded rather than the parallelism rewarded.  Smoke mode gates
-only on completeness + byte-identity.
+* **scaling** — tasks/sec from 1 to 8 ``repro campaign worker``
+  subprocesses draining one reference sweep (tiny Emilia-like
+  campaign).  Every configuration's collected result must be
+  byte-identical to the single-worker one — the determinism contract
+  of :mod:`repro.queue` — which doubles as the correctness gate.
+* **affinity** — a multi-configuration sweep (2 problems x 2
+  preconditioners = 4 configuration groups, no shared trajectory
+  cache) drained with configuration-affine vs plain scan-order
+  claiming.  Besides tasks/sec, each cell records the **config
+  spread**: the total number of (worker, configuration) warm-ups paid.
+  Affine claiming's whole point is spread ~= n_configs instead of
+  n_configs x workers.
+* **compaction** — one worker draining with an aggressive
+  ``--compact-every`` cadence; records segment count and collect time,
+  and the collect must stay byte-identical to the uncompacted drain.
+
+The acceptance gate (``--check``) is host-aware:
+
+* scaling: on a multi-core host the 2-worker configuration must reach
+  >= 1.15x single-worker throughput; on a single-core host it must
+  stay within 2x (coordination overhead bounded, parallelism not
+  rewarded).
+* affinity: the affine config spread is always bounded by
+  ``n_configs + 2 * (workers - 1)`` (near-perfect chunking plus tail
+  stealing) and never exceeds the scan-order spread; affine claiming
+  must not regress single-worker throughput (>= 0.85x) and must not
+  regress the multi-worker sweep on multi-core hosts (>= 0.95x —
+  the warm-up saving is the spread cell's deterministic evidence).
+* compaction: segments were actually published and the collect is
+  byte-identical.
+* smoke mode gates only completeness + byte-identity + the spread
+  bound (CI sanity run).
 
 Usage::
 
@@ -39,8 +58,9 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 sys.path.insert(0, str(SRC))
 
-from repro.campaign import CampaignSpec, demo_spec  # noqa: E402
-from repro.queue import QueueStore, collect  # noqa: E402
+from repro.campaign import CampaignSpec, ScenarioSpec, StrategySpec, demo_spec  # noqa: E402
+from repro.campaign.spec import expand_spec  # noqa: E402
+from repro.queue import QueueStore, collect, task_config  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_queue.json"
 WORKER_COUNTS = (1, 2, 4, 8)
@@ -50,6 +70,10 @@ SCALING_THRESHOLD = 1.15
 #: Allowed 2-worker *slowdown* floor on a single-core host (pure
 #: coordination-overhead bound; there is no parallelism to win).
 SINGLE_CORE_FLOOR = 0.5
+#: Affine claiming must not regress a single worker below this.
+AFFINE_1W_FLOOR = 0.85
+#: ...nor the multi-worker multi-config sweep (multi-core hosts).
+AFFINE_MULTI_FLOOR = 0.95
 
 
 def bench_spec(repetitions: int) -> CampaignSpec:
@@ -63,34 +87,72 @@ def bench_spec(repetitions: int) -> CampaignSpec:
     )
 
 
+def affinity_spec(repetitions: int, scale: str = "small") -> CampaignSpec:
+    """Multi-configuration sweep: 2 problems x 2 preconditioners.
+
+    Four configuration groups whose per-worker warm-up (session setup
+    + reference trajectory, deliberately *not* shared through a disk
+    cache) is a meaningful fraction of the task work — the regime
+    affine claiming exists for.
+    """
+    return CampaignSpec(
+        name="queue-affinity",
+        problems=(("emilia_923_like", scale), ("poisson3d", scale)),
+        n_nodes=8,
+        preconditioners=("block_jacobi", "jacobi"),
+        strategies=(StrategySpec("esr"),),
+        phis=(1,),
+        scenarios=(
+            ScenarioSpec.make("failure_free"),
+            ScenarioSpec.make("worst_case", location="start"),
+        ),
+        repetitions=repetitions,
+    )
+
+
 def _spawn_worker(
-    queue_dir: pathlib.Path, index: int, cache_dir: pathlib.Path
+    queue_dir: pathlib.Path,
+    index: int,
+    cache_dir: pathlib.Path | None,
+    affine: bool = True,
+    compact_every: int | None = None,
 ) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC) + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    argv = [
+        sys.executable, "-m", "repro", "campaign", "worker",
+        "--queue", str(queue_dir), "--id", f"bench-w{index}", "--quiet",
+    ]
+    if cache_dir is not None:
+        argv += ["--cache-dir", str(cache_dir)]
+    if not affine:
+        argv += ["--no-affine"]
+    if compact_every is not None:
+        argv += ["--compact-every", str(compact_every)]
     return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "campaign", "worker",
-            "--queue", str(queue_dir), "--id", f"bench-w{index}", "--quiet",
-            "--cache-dir", str(cache_dir),
-        ],
+        argv,
         env=env,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE,
     )
 
 
-def bench_workers(spec: CampaignSpec, workers: int, scratch: pathlib.Path) -> dict:
-    queue_dir = scratch / f"queue-{workers}w"
+def _drain(
+    spec: CampaignSpec,
+    workers: int,
+    queue_dir: pathlib.Path,
+    cache_dir: pathlib.Path | None,
+    affine: bool = True,
+    compact_every: int | None = None,
+) -> tuple[QueueStore, float]:
     store = QueueStore.submit(spec, queue_dir)
-    # Workers share reference trajectories through a disk cache (the
-    # same contract as `campaign run --cache-dir`), so the sweep
-    # measures task throughput, not N redundant reference solves.
-    cache_dir = scratch / f"cache-{workers}w"
     started = time.perf_counter()
-    procs = [_spawn_worker(queue_dir, i, cache_dir) for i in range(workers)]
+    procs = [
+        _spawn_worker(queue_dir, i, cache_dir, affine, compact_every)
+        for i in range(workers)
+    ]
     for proc in procs:
         _, stderr = proc.communicate()
         if proc.returncode != 0:
@@ -101,6 +163,27 @@ def bench_workers(spec: CampaignSpec, workers: int, scratch: pathlib.Path) -> di
     status = store.status()
     if not status.drained or status.failed:
         raise RuntimeError(f"queue not cleanly drained: {status.render()}")
+    return store, elapsed
+
+
+def config_spread(store: QueueStore) -> int:
+    """Total (worker, configuration) warm-ups paid during the drain."""
+    per_worker: dict[str, set[str]] = {}
+    for outcome in store.outcomes():
+        if outcome.status == "done":
+            per_worker.setdefault(outcome.worker_id, set()).add(
+                task_config(outcome.task_id)
+            )
+    return sum(len(configs) for configs in per_worker.values())
+
+
+def bench_workers(spec: CampaignSpec, workers: int, scratch: pathlib.Path) -> dict:
+    queue_dir = scratch / f"queue-{workers}w"
+    # Workers share reference trajectories through a disk cache (the
+    # same contract as `campaign run --cache-dir`), so the sweep
+    # measures task throughput, not N redundant reference solves.
+    cache_dir = scratch / f"cache-{workers}w"
+    store, elapsed = _drain(spec, workers, queue_dir, cache_dir)
     result_path = scratch / f"result-{workers}w.json"
     collect(queue_dir).to_json(result_path)
     return {
@@ -112,35 +195,30 @@ def bench_workers(spec: CampaignSpec, workers: int, scratch: pathlib.Path) -> di
     }
 
 
-def run(worker_counts, repetitions: int) -> dict:
+def run_scaling(worker_counts, repetitions: int, scratch: pathlib.Path) -> dict:
     spec = bench_spec(repetitions)
     rows = []
-    with tempfile.TemporaryDirectory(prefix="bench-queue-") as scratch_name:
-        scratch = pathlib.Path(scratch_name)
-        baseline_bytes = None
-        for workers in worker_counts:
-            row = bench_workers(spec, workers, scratch)
-            payload = row.pop("result_path").read_bytes()
-            if baseline_bytes is None:
-                baseline_bytes = payload
-            row["result_identical"] = payload == baseline_bytes
-            base_rate = rows[0]["tasks_per_sec"] if rows else row["tasks_per_sec"]
-            row["scaling_vs_1"] = row["tasks_per_sec"] / base_rate
-            rows.append(row)
-            print(
-                f"{row['workers']} worker(s): {row['tasks']} tasks in "
-                f"{row['seconds']:6.2f}s  {row['tasks_per_sec']:6.1f} tasks/s  "
-                f"scaling {row['scaling_vs_1']:.2f}x  "
-                f"{'OK' if row['result_identical'] else 'RESULT MISMATCH'}",
-                flush=True,
-            )
+    baseline_bytes = None
+    for workers in worker_counts:
+        row = bench_workers(spec, workers, scratch)
+        payload = row.pop("result_path").read_bytes()
+        if baseline_bytes is None:
+            baseline_bytes = payload
+        row["result_identical"] = payload == baseline_bytes
+        base_rate = rows[0]["tasks_per_sec"] if rows else row["tasks_per_sec"]
+        row["scaling_vs_1"] = row["tasks_per_sec"] / base_rate
+        rows.append(row)
+        print(
+            f"{row['workers']} worker(s): {row['tasks']} tasks in "
+            f"{row['seconds']:6.2f}s  {row['tasks_per_sec']:6.1f} tasks/s  "
+            f"scaling {row['scaling_vs_1']:.2f}x  "
+            f"{'OK' if row['result_identical'] else 'RESULT MISMATCH'}",
+            flush=True,
+        )
     two = next((r for r in rows if r["workers"] == 2), None)
     cores = os.cpu_count() or 1
     return {
-        "benchmark": "durable queue: worker-count throughput scaling",
         "sweep": f"{spec.name} ({rows[0]['tasks']} tiny-problem tasks)",
-        "metric": "tasks/sec over submit->drain wall-clock (worker subprocesses)",
-        "cpu_count": cores,
         "results": rows,
         "headline": {
             "workers": 2,
@@ -152,6 +230,214 @@ def run(worker_counts, repetitions: int) -> dict:
     }
 
 
+def run_affinity(repetitions: int, scratch: pathlib.Path, smoke: bool) -> dict:
+    spec = affinity_spec(repetitions, scale="tiny" if smoke else "small")
+    n_configs = len({run.config_key for run in expand_spec(spec)})
+    cells = []
+    baseline_bytes = None
+    trials = 1 if smoke else 2
+    for affine in (True, False):
+        for workers in (1, 2):
+            label = f"{'affine' if affine else 'scan'}-{workers}w"
+            # Best-of-N: the cells are short (seconds) and subprocess
+            # scheduling noise on a loaded host easily exceeds the
+            # effect being measured; the minimum drain time is the
+            # honest cost of each claiming mode.
+            elapsed = float("inf")
+            identical = True
+            store = spread = None
+            for trial in range(trials):
+                queue_dir = scratch / f"affinity-{label}-t{trial}"
+                trial_store, trial_elapsed = _drain(
+                    spec, workers, queue_dir, cache_dir=None, affine=affine
+                )
+                payload_path = scratch / f"affinity-{label}-t{trial}.json"
+                collect(queue_dir).to_json(payload_path)
+                payload = payload_path.read_bytes()
+                if baseline_bytes is None:
+                    baseline_bytes = payload
+                identical = identical and payload == baseline_bytes
+                if trial_elapsed < elapsed:
+                    elapsed = trial_elapsed
+                    store, spread = trial_store, config_spread(trial_store)
+            cell = {
+                "claiming": "affine" if affine else "scan",
+                "workers": workers,
+                "tasks": store.n_tasks,
+                "n_configs": n_configs,
+                "seconds": elapsed,
+                "tasks_per_sec": store.n_tasks / elapsed,
+                "config_spread": spread,
+                "result_identical": identical,
+            }
+            cells.append(cell)
+            print(
+                f"affinity {label:10s}: {cell['tasks']} tasks in "
+                f"{cell['seconds']:6.2f}s  {cell['tasks_per_sec']:6.1f} tasks/s  "
+                f"spread {cell['config_spread']} "
+                f"(configs={n_configs}, workers={workers})  "
+                f"{'OK' if cell['result_identical'] else 'RESULT MISMATCH'}",
+                flush=True,
+            )
+
+    def cell(claiming, workers):
+        return next(
+            c for c in cells
+            if c["claiming"] == claiming and c["workers"] == workers
+        )
+
+    return {
+        "sweep": f"{spec.name} ({cells[0]['tasks']} tasks, "
+                 f"{n_configs} configuration groups, no shared cache)",
+        "results": cells,
+        "headline": {
+            "n_configs": n_configs,
+            "affine_spread_2w": cell("affine", 2)["config_spread"],
+            "scan_spread_2w": cell("scan", 2)["config_spread"],
+            "spread_bound_2w": n_configs + 2 * (2 - 1),
+            "affine_vs_scan_1w":
+                cell("affine", 1)["tasks_per_sec"]
+                / cell("scan", 1)["tasks_per_sec"],
+            "affine_vs_scan_2w":
+                cell("affine", 2)["tasks_per_sec"]
+                / cell("scan", 2)["tasks_per_sec"],
+            "all_results_identical": all(c["result_identical"] for c in cells),
+        },
+    }
+
+
+def run_compaction(repetitions: int, scratch: pathlib.Path, compact_every: int) -> dict:
+    spec = bench_spec(repetitions)
+    plain_store, plain_elapsed = _drain(
+        spec, 1, scratch / "compact-off", cache_dir=scratch / "compact-cache-a"
+    )
+    plain_path = scratch / "compact-off.json"
+    started = time.perf_counter()
+    collect(plain_store.queue_dir).to_json(plain_path)
+    plain_collect = time.perf_counter() - started
+
+    store, elapsed = _drain(
+        spec, 1, scratch / "compact-on", cache_dir=scratch / "compact-cache-b",
+        compact_every=compact_every,
+    )
+    segments = store.segment_paths()
+    shard_residual = sum(
+        len(p.read_bytes().splitlines())
+        for p in (store.queue_dir / "spool").glob("*.jsonl")
+    )
+    compact_path = scratch / "compact-on.json"
+    started = time.perf_counter()
+    collect(store.queue_dir).to_json(compact_path)
+    compact_collect = time.perf_counter() - started
+
+    identical = plain_path.read_bytes() == compact_path.read_bytes()
+    row = {
+        "tasks": store.n_tasks,
+        "compact_every": compact_every,
+        "segments": len(segments),
+        "segment_bytes": sum(p.stat().st_size for p in segments),
+        "shard_residual_records": shard_residual,
+        "drain_seconds_plain": plain_elapsed,
+        "drain_seconds_compacting": elapsed,
+        "collect_seconds_plain": plain_collect,
+        "collect_seconds_compacted": compact_collect,
+        "result_identical": identical,
+    }
+    print(
+        f"compaction: {row['tasks']} tasks, cadence {compact_every} -> "
+        f"{row['segments']} segment(s), {shard_residual} residual record(s), "
+        f"collect {compact_collect:.2f}s vs {plain_collect:.2f}s plain  "
+        f"{'OK' if identical else 'RESULT MISMATCH'}",
+        flush=True,
+    )
+    return row
+
+
+def run(worker_counts, repetitions: int, smoke: bool) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-queue-") as scratch_name:
+        scratch = pathlib.Path(scratch_name)
+        scaling = run_scaling(worker_counts, repetitions, scratch)
+        affinity = run_affinity(1 if smoke else 3, scratch, smoke)
+        compaction = run_compaction(
+            2 if smoke else 4, scratch, compact_every=8
+        )
+    cores = os.cpu_count() or 1
+    return {
+        "benchmark": "durable queue: scaling, affine claiming, compaction",
+        "metric": "tasks/sec over submit->drain wall-clock (worker subprocesses)",
+        "cpu_count": cores,
+        "sweep": scaling["sweep"],
+        "results": scaling["results"],
+        "affinity": affinity,
+        "compaction": compaction,
+        "headline": {
+            **scaling["headline"],
+            "affine_vs_scan_1w": affinity["headline"]["affine_vs_scan_1w"],
+            "affine_vs_scan_2w": affinity["headline"]["affine_vs_scan_2w"],
+            "affine_spread_2w": affinity["headline"]["affine_spread_2w"],
+            "scan_spread_2w": affinity["headline"]["scan_spread_2w"],
+            "all_results_identical": (
+                scaling["headline"]["all_results_identical"]
+                and affinity["headline"]["all_results_identical"]
+                and compaction["result_identical"]
+            ),
+        },
+    }
+
+
+def check(payload: dict, smoke: bool) -> int:
+    headline = payload["headline"]
+    affinity = payload["affinity"]["headline"]
+    cores = payload["cpu_count"]
+    failures = []
+    if not headline["all_results_identical"]:
+        failures.append("collected results differ across configurations")
+    if affinity["affine_spread_2w"] > affinity["spread_bound_2w"]:
+        failures.append(
+            f"affine config spread {affinity['affine_spread_2w']} exceeds "
+            f"bound {affinity['spread_bound_2w']}"
+        )
+    if affinity["affine_spread_2w"] > affinity["scan_spread_2w"]:
+        failures.append(
+            f"affine spread {affinity['affine_spread_2w']} exceeds scan-order "
+            f"spread {affinity['scan_spread_2w']}"
+        )
+    if payload["compaction"]["segments"] < 1:
+        failures.append("compaction published no segments")
+    if not smoke:
+        threshold = headline["threshold"]
+        kind = "scaling" if headline["multi_core"] else "overhead floor"
+        if headline["scaling"] is None or headline["scaling"] < threshold:
+            failures.append(
+                f"2-worker {kind} {headline['scaling']} < {threshold}x "
+                f"(cpu_count={cores})"
+            )
+        if affinity["affine_vs_scan_1w"] < AFFINE_1W_FLOOR:
+            failures.append(
+                f"affine claiming regresses 1-worker throughput: "
+                f"{affinity['affine_vs_scan_1w']:.2f}x < {AFFINE_1W_FLOOR}x"
+            )
+        if cores >= 2 and affinity["affine_vs_scan_2w"] < AFFINE_MULTI_FLOOR:
+            failures.append(
+                f"affine claiming regresses the 2-worker multi-config sweep: "
+                f"{affinity['affine_vs_scan_2w']:.2f}x < {AFFINE_MULTI_FLOOR}x"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "check passed: drained, byte-identical, affine spread "
+        f"{affinity['affine_spread_2w']}/{affinity['spread_bound_2w']} "
+        f"(scan {affinity['scan_spread_2w']}), affine-vs-scan "
+        f"{affinity['affine_vs_scan_1w']:.2f}x (1w) / "
+        f"{affinity['affine_vs_scan_2w']:.2f}x (2w), "
+        f"{payload['compaction']['segments']} segment(s) "
+        f"(cpu_count={cores})"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
@@ -161,38 +447,18 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="small sweep, 1/2 workers only (CI sanity run)")
     parser.add_argument("--check", action="store_true",
-                        help="exit non-zero unless drained + byte-identical "
-                        f"(+ 2-worker scaling >= {SCALING_THRESHOLD}x outside "
-                        "--smoke)")
+                        help="exit non-zero unless drained + byte-identical + "
+                        "affinity/compaction gates hold (see module docstring)")
     args = parser.parse_args(argv)
 
     counts = SMOKE_WORKER_COUNTS if args.smoke else WORKER_COUNTS
     repetitions = 2 if args.smoke else args.repetitions
-    payload = run(counts, repetitions)
+    payload = run(counts, repetitions, args.smoke)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.out}")
 
     if args.check:
-        headline = payload["headline"]
-        if not headline["all_results_identical"]:
-            print("FAIL: collected results differ across worker counts",
-                  file=sys.stderr)
-            return 1
-        if not args.smoke:
-            threshold = headline["threshold"]
-            kind = "scaling" if headline["multi_core"] else "overhead floor"
-            if headline["scaling"] is None or headline["scaling"] < threshold:
-                print(
-                    f"FAIL: 2-worker {kind} {headline['scaling']} < "
-                    f"{threshold}x (cpu_count={payload['cpu_count']})",
-                    file=sys.stderr,
-                )
-                return 1
-            print(f"check passed: drained, byte-identical, 2-worker {kind} "
-                  f"{headline['scaling']:.2f}x >= {threshold}x "
-                  f"(cpu_count={payload['cpu_count']})")
-        else:
-            print("check passed: drained, byte-identical")
+        return check(payload, args.smoke)
     return 0
 
 

@@ -213,6 +213,7 @@ def execute_queued(
     spec: CampaignSpec,
     queue_dir,
     workers: int,
+    max_attempts: int | None = None,
 ) -> CampaignResult:
     """Run a campaign through an on-disk queue with a local worker pool.
 
@@ -223,9 +224,13 @@ def execute_queued(
     run, but resumable: if this process dies, re-running against the
     same ``queue_dir`` (or pointing ``repro campaign worker`` at it,
     from any host sharing the filesystem) picks up where it left off.
+
+    ``max_attempts`` is the queue's retry bound for *failing* (raising)
+    tasks; when resuming an existing queue the policy recorded at
+    submit time is authoritative and the argument is ignored.
     """
     from ..queue.collect import collect
-    from ..queue.store import QueueStore
+    from ..queue.store import DEFAULT_MAX_ATTEMPTS, QueueStore
     from ..queue.worker import run_worker
 
     store = QueueStore(queue_dir)
@@ -238,7 +243,12 @@ def execute_queued(
                 f"({store.spec.name!r}); refusing to mix sweeps"
             )
     else:
-        store = QueueStore.submit(spec, queue_dir)
+        store = QueueStore.submit(
+            spec, queue_dir,
+            max_attempts=(
+                DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts
+            ),
+        )
     if workers <= 1:
         run_worker(queue_dir, wait=True)
     else:
@@ -258,6 +268,7 @@ def execute_campaign(
     progress: ProgressFn | None = None,
     cache_dir: str | None = None,
     queue_dir=None,
+    max_attempts: int | None = None,
 ) -> CampaignResult:
     """Expand a campaign spec and execute every run.
 
@@ -273,9 +284,11 @@ def execute_campaign(
     (:mod:`repro.queue`): tasks are materialised on disk, ``workers``
     queue workers drain them, and the result is collected from the
     spool shards — same records, but crash-resumable and joinable by
-    external ``repro campaign worker`` processes.  Per-run ``progress``
-    callbacks are not available in this mode (workers stream to disk,
-    not to the driver); use ``repro campaign status`` for observation.
+    external ``repro campaign worker`` processes, with failing tasks
+    retried up to ``max_attempts`` times before dead-lettering.
+    Per-run ``progress`` callbacks are not available in this mode
+    (workers stream to disk, not to the driver); use ``repro campaign
+    status`` for observation.
     """
     runs = expand_spec(spec)
     if not runs:
@@ -284,6 +297,8 @@ def execute_campaign(
         workers = default_workers(len(runs))
     with cache_dir_env(cache_dir):
         if queue_dir is not None:
-            return execute_queued(spec, queue_dir, workers=workers)
+            return execute_queued(
+                spec, queue_dir, workers=workers, max_attempts=max_attempts
+            )
         records = execute_runs(runs, workers=workers, progress=progress)
     return CampaignResult(spec=spec.to_dict(), records=records)

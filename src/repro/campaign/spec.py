@@ -95,6 +95,21 @@ class RunSpec:
         return self.seed_key + backend
 
     @property
+    def config_key(self) -> str:
+        """The session-defining part of the run identity.
+
+        Two runs with the same config key share all per-worker warm-up
+        state: the :class:`~repro.api.session.SolverSession` (matrix,
+        cluster, partition, factorised preconditioners) is memoised on
+        (problem, scale, n_nodes) and the reference-trajectory cache on
+        the preconditioner, so this prefix of :attr:`seed_key` is what
+        configuration-affine queue claiming groups by.
+        """
+        return (
+            f"{self.problem}:{self.scale}:n{self.n_nodes}:{self.preconditioner}"
+        )
+
+    @property
     def seed_key(self) -> str:
         """Run identity *without* the backend (the seed-derivation key).
 
@@ -104,8 +119,7 @@ class RunSpec:
         of re-rolled ones.
         """
         return (
-            f"{self.problem}:{self.scale}:n{self.n_nodes}:{self.preconditioner}"
-            f":{self.strategy}:T{self.T}:phi{self.phi}"
+            f"{self.config_key}:{self.strategy}:T{self.T}:phi{self.phi}"
             f":{self.scenario.label}:rep{self.repetition}"
         )
 

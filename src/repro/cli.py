@@ -172,6 +172,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="override the spec's repetitions per cell")
     submit_cmd.add_argument("--backends", default=None, metavar="NAMES",
                             help="comma-separated kernel backends to sweep")
+    submit_cmd.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                            help="retry policy: dead-letter a task after N "
+                            "failed (exception-raising) attempts (default: 3)")
 
     worker_cmd = campaign_sub.add_parser(
         "worker",
@@ -193,6 +196,14 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(same contract as 'campaign run --cache-dir')")
     worker_cmd.add_argument("--quiet", action="store_true",
                             help="suppress per-task progress/ETA lines")
+    worker_cmd.add_argument("--no-affine", action="store_false", dest="affine",
+                            help="claim tasks in plain scan order instead of "
+                            "configuration-affine chunks")
+    worker_cmd.add_argument("--compact-every", type=int, default=None,
+                            metavar="N",
+                            help="fold the spool shard into a compacted "
+                            "segment every N completed records "
+                            "(default: 256; 0 disables compaction)")
 
     status_cmd = campaign_sub.add_parser(
         "status", help="summarise a queue's task/lease/spool state"
@@ -335,7 +346,8 @@ def _worker_progress_printer(worker_id: str):
             eta = ""
         print(
             f"  [{worker_id}] done {summary.done}"
-            + (f" failed {summary.failed}" if summary.failed else "")
+            + (f" retried {summary.retried}" if summary.retried else "")
+            + (f" dead {summary.failed}" if summary.failed else "")
             + (f" abandoned {summary.abandoned}" if summary.abandoned else "")
             + f" | queue: {status.render()}"
             + (f" | {rate:.2f} s/task{eta}" if rate else "")
@@ -351,13 +363,18 @@ def _cmd_campaign_queue(args: argparse.Namespace) -> int:
     import os
 
     from .queue import QueueStore, collect, default_worker_id, run_worker
-    from .queue.store import DEFAULT_TTL
+    from .queue.store import DEFAULT_MAX_ATTEMPTS, DEFAULT_TTL
+    from .queue.worker import DEFAULT_COMPACT_EVERY
 
     if args.campaign_command == "submit":
         spec = _campaign_spec_from_args(args)
-        store = QueueStore.submit(spec, args.queue)
+        max_attempts = (
+            args.max_attempts if args.max_attempts is not None
+            else DEFAULT_MAX_ATTEMPTS
+        )
+        store = QueueStore.submit(spec, args.queue, max_attempts=max_attempts)
         print(f"campaign {spec.name!r}: {store.n_tasks} tasks submitted "
-              f"to {store.queue_dir}")
+              f"to {store.queue_dir} (max {max_attempts} attempt(s)/task)")
         print("next: repro campaign worker --queue "
               f"{store.queue_dir}  (repeat per core / host)")
         return 0
@@ -367,6 +384,10 @@ def _cmd_campaign_queue(args: argparse.Namespace) -> int:
         ttl = args.ttl if args.ttl is not None else DEFAULT_TTL
         progress = None if args.quiet else _worker_progress_printer(worker_id)
         cache_dir = os.path.expanduser(args.cache_dir) if args.cache_dir else None
+        if args.compact_every is None:
+            compact_every = DEFAULT_COMPACT_EVERY
+        else:
+            compact_every = args.compact_every if args.compact_every > 0 else None
         print(f"worker {worker_id} draining {args.queue} (ttl={ttl:g}s) ...",
               flush=True)
         summary = run_worker(
@@ -377,9 +398,12 @@ def _cmd_campaign_queue(args: argparse.Namespace) -> int:
             wait=args.wait,
             cache_dir=cache_dir,
             progress=progress,
+            affine=args.affine,
+            compact_every=compact_every,
         )
         print(f"worker {worker_id}: {summary.done} done, "
-              f"{summary.failed} failed, {summary.abandoned} abandoned "
+              f"{summary.retried} retried, {summary.failed} dead-lettered, "
+              f"{summary.abandoned} abandoned "
               f"({summary.busy_seconds:.1f}s busy)")
         return 0 if summary.failed == 0 else 1
 
@@ -394,10 +418,18 @@ def _cmd_campaign_queue(args: argparse.Namespace) -> int:
         return 0 if status.failed == 0 else 1
 
     # campaign collect
+    store = QueueStore(args.queue)
     result = collect(args.queue, allow_partial=args.allow_partial)
     if not args.quiet:
         print(result.render_summary())
         print()
+    if args.allow_partial:
+        # Surface what the partial collect skipped: dead-lettered
+        # tasks (with their provenance) are silent data loss otherwise.
+        for outcome in store.failed_outcomes():
+            last = (outcome.error or "").strip().splitlines()
+            print(f"DEAD-LETTERED after {outcome.attempts} attempt(s): "
+                  f"{outcome.run_id}" + (f" ({last[-1]})" if last else ""))
     path = result.to_json(args.out)
     print(f"wrote {len(result)} records to {path}")
     if args.csv:

@@ -11,6 +11,8 @@ bit for bit (see :mod:`repro.kernels.base` for the contract and
 
 from __future__ import annotations
 
+import os
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -19,12 +21,49 @@ from ..api.registry import register_backend
 from ..cluster.cost_model import BYTES_PER_FLOAT
 from .base import KernelBackend
 
+#: Exporting this acknowledges the deprecation and silences the
+#: warning for deliberate production use of the reference backend.
+ALLOW_LOOPED_ENV = "REPRO_ALLOW_LOOPED"
+
+
+def _under_test() -> bool:
+    """True inside a pytest run (where looped is a first-class citizen)."""
+    return "PYTEST_CURRENT_TEST" in os.environ
+
 
 @register_backend("looped", aliases=("reference_loops",))
 class LoopedBackend(KernelBackend):
-    """Per-rank loops with charges incurred inside the numeric loop."""
+    """Per-rank loops with charges incurred inside the numeric loop.
+
+    Demoted toward test-only status: the ``vectorized`` backend is
+    uniformly faster and bit-identical by contract, so constructing
+    this backend outside a test run emits a :class:`DeprecationWarning`
+    (it stays registered — the equivalence property suite is its
+    raison d'être, and ``REPRO_ALLOW_LOOPED=1`` opts production code
+    back in silently).
+    """
 
     name = "looped"
+
+    def __init__(self, *, _internal: bool = False) -> None:
+        # ``_internal`` marks construction by the library itself (the
+        # vectorized backend keeps a looped instance as its per-rank
+        # fallback) — only *selecting* looped as the execution backend
+        # is deprecated.
+        if (
+            not _internal
+            and not _under_test()
+            and os.environ.get(ALLOW_LOOPED_ENV) != "1"
+        ):
+            warnings.warn(
+                "the 'looped' kernel backend is deprecated for production "
+                "use (the 'vectorized' default is bit-identical and "
+                "uniformly faster); it is retained as the verification "
+                "baseline for the backend-equivalence test suite — set "
+                f"{ALLOW_LOOPED_ENV}=1 to silence this warning",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------- vector arithmetic
 

@@ -50,8 +50,9 @@ try:  # pragma: no cover - exercised via spmv_local on any scipy we support
 except ImportError:  # pragma: no cover - ancient/exotic scipy builds
     _csr_matvec = None
 
-#: Shared per-rank fallback (identical code path to the looped backend).
-_LOOPED = LoopedBackend()
+#: Shared per-rank fallback (identical code path to the looped backend;
+#: internal construction — the deprecation covers *selecting* looped).
+_LOOPED = LoopedBackend(_internal=True)
 
 
 @register_backend("vectorized", aliases=("fused", "flat"))

@@ -16,19 +16,25 @@ completed run.
 
 On-disk layout
 --------------
-One queue = one directory::
+One queue = one directory (layout version 2)::
 
     queue_dir/
-      spec.json            # campaign spec + n_tasks (written LAST by
-                           #   submit: its presence marks the store live)
+      spec.json            # campaign spec + n_tasks + retry policy
+                           #   (written LAST by submit: its presence
+                           #   marks the store live)
       tasks/<task_id>.json # one QueueTask per seeded RunSpec; the id is
-                           #   {expansion_index:06d}-{sha256(run_id)[:10]},
-                           #   so sorted directory order == expansion order
+                           #   {index:06d}-{cfg}-{digest}: expansion
+                           #   index (sorted order == expansion order),
+                           #   sha256(config_key)[:6] (affine chunk
+                           #   grouping straight from the listing), and
+                           #   sha256(run_id)[:10] (stale-store guard)
       leases/<task_id>.json    # live claims (see protocol below)
       reclaimed/<...>.json     # tombstones of expired leases (audit trail)
       done/<task_id>.json      # terminal marker -> spool shard holding the
-      failed/<task_id>.json    #   record / the captured traceback
+      failed/<task_id>.json    #   record / the dead-letter provenance
+      retries/<task_id>.json   # failed-attempt ledger (retry lifecycle)
       spool/<worker_id>.jsonl  # per-worker record shards (append-only)
+      segments/<worker_id>-<seq>.seg  # compacted spool segments
 
 Every payload write is atomic (same-directory temp file +
 ``os.replace``), so readers never observe partial JSON.
@@ -58,6 +64,72 @@ flight* wait out one TTL and run again.  Nothing completed is lost,
 nothing is double-counted — the ESR/ESRP story, applied to the sweep
 infrastructure itself.
 
+Retry & dead-letter lifecycle
+-----------------------------
+Crashes are the lease protocol's business; *failures* — a solve that
+raises — are the retry policy's.  Submit records ``max_attempts``
+(default 3) in ``spec.json`` so every worker applies the same bound:
+
+* a failed attempt is appended to the task's **retry ledger**
+  (``retries/<task_id>.json``: attempt number, worker id, error,
+  timestamp — only the lease holder executes a task, so ledger writes
+  are single-writer), the lease is released, and the task goes
+  straight back to claimable;
+* the ``max_attempts``-th failure **dead-letters** the task: a
+  permanent ``failed/`` marker is written whose
+  :class:`~repro.queue.state.TaskOutcome` carries the attempt count
+  and the full failure log.  Dead-lettered tasks are surfaced by
+  ``repro campaign status`` (the ``retried`` / ``failed`` counters)
+  and block ``collect`` unless ``--allow-partial``;
+* a task that eventually *succeeds* keeps its provenance: the ``done``
+  marker's ``attempts``/``failure_log`` show the failed attempts that
+  preceded it.  The spooled record itself is unchanged — collects stay
+  byte-identical to a serial run.
+
+Configuration-affine chunk claiming
+-----------------------------------
+Workers do not claim task-by-task in global order (which warms every
+problem configuration in every worker); they claim
+**configuration-contiguous chunks**.  The session-defining part of the
+run key (:attr:`~repro.campaign.spec.RunSpec.config_key` —
+problem/scale/nodes/preconditioner) is digested into every task id, so
+one directory listing groups the queue into chunks.  A worker picks
+the first group with claimable tasks and no live foreign lease (one
+scan per chunk boundary, reused for the progress snapshot), drains it,
+then moves on; if only foreign-active groups remain it steals from
+them rather than idle.  Affinity is a preference layered *on top of*
+the per-task lease protocol — correctness, crash recovery and collect
+byte-identity are exactly as without it.
+
+Compacted spool segments
+------------------------
+Shards are append-only JSONL; a million-run sweep would make collect
+read gigabytes of text whole.  Every ``compact_every`` completed
+records (default 256) a worker folds its shard into a **compacted
+segment** ``segments/<worker_id>-<seq>.seg``: records sorted by run
+id, each length-prefixed (``u32`` little-endian + canonical JSON),
+followed by a JSON footer index and an 8-byte trailer (footer length +
+magic ``RQS1``).  Publication is atomic and ordered before the shard
+truncate, so a crash mid-compaction at worst duplicates records into
+segment *and* shard — the collector's merge folds them back.
+``collect`` then ``heapq.merge``-streams the sorted segments plus the
+(bounded) shard residuals, deduplicating by run id with a
+previous-record comparison — the merge holds one record per spool
+source (duplicates and raw shard text never accumulate), so collect
+memory is one parsed record per *run*, the floor the returned
+``CampaignResult`` itself requires.
+
+Adversarial filesystems (the ``os.link`` caveat)
+------------------------------------------------
+Claim atomicity rests on ``O_EXCL``-equivalent ``os.link`` semantics.
+Local filesystems and NFSv3+ provide them; **classic NFSv2 does not**
+(its link/create operations can be silently retried by the client and
+report success twice).  There is no reliable runtime probe, so the
+gate is declarative: export ``REPRO_QUEUE_LINK_UNSAFE=1`` on mounts
+known to be adversarial and every claim raises a
+:class:`~repro.exceptions.ConfigurationError` up front instead of
+risking double execution.
+
 Quickstart
 ----------
 Programmatic::
@@ -84,23 +156,46 @@ collects.
 
 from __future__ import annotations
 
-from .collect import collect, iter_shard_records
+from .collect import collect, iter_queue_records, iter_segment_records, iter_shard_records
 from .state import Lease, QueueStatus, QueueTask, TaskOutcome
-from .store import DEFAULT_TTL, QueueStore, task_id_for
-from .worker import QueueWorker, WorkerSummary, default_worker_id, run_worker
+from .store import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_TTL,
+    UNSAFE_LINK_ENV,
+    QueueScan,
+    QueueStore,
+    config_digest,
+    task_config,
+    task_id_for,
+)
+from .worker import (
+    DEFAULT_COMPACT_EVERY,
+    QueueWorker,
+    WorkerSummary,
+    default_worker_id,
+    run_worker,
+)
 
 __all__ = [
+    "DEFAULT_COMPACT_EVERY",
+    "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_TTL",
     "Lease",
+    "QueueScan",
     "QueueStatus",
     "QueueStore",
     "QueueTask",
     "QueueWorker",
     "TaskOutcome",
+    "UNSAFE_LINK_ENV",
     "WorkerSummary",
     "collect",
+    "config_digest",
     "default_worker_id",
+    "iter_queue_records",
+    "iter_segment_records",
     "iter_shard_records",
     "run_worker",
+    "task_config",
     "task_id_for",
 ]

@@ -1,24 +1,37 @@
 """Collecting a drained queue into one canonical :class:`CampaignResult`.
 
-The collector reads every per-worker spool shard, deduplicates by run
-id (crash recovery can legitimately execute a task twice — determinism
+The collector merges every compacted segment and every residual
+per-worker spool shard into one record stream, deduplicating by run id
+(crash recovery can legitimately execute a task twice — determinism
 makes the duplicate records byte-equal, which is verified), checks
 completeness against the task store, and hands the records to
 :class:`~repro.campaign.results.CampaignResult`, whose canonical
 ordering makes the serialised output independent of which worker
 finished what in which order — byte-identical to a serial
 :func:`~repro.campaign.executor.execute_campaign` of the same spec.
+
+The merge itself runs in bounded memory: compacted segments are sorted
+by run id and streamed record by record, residual shards are bounded
+by the workers' compaction cadence, and the duplicate check is a
+peek-at-the-previous-record comparison inside a ``heapq.merge`` of the
+sorted streams — never an all-records-by-id dictionary and never a
+whole shard slurped as text.  The collected
+:class:`~repro.campaign.results.CampaignResult` still materialises the
+(deduplicated) record list — that is its contract — so end-to-end
+collect memory is one record object per run, not one per spooled copy.
 """
 
 from __future__ import annotations
 
+import heapq
 import json
 import pathlib
+import struct
 from typing import Iterator
 
 from ..campaign.results import CampaignResult, CampaignRunRecord
 from ..exceptions import ConfigurationError
-from .store import QueueStore
+from .store import SEGMENT_MAGIC, QueueStore
 
 
 def iter_shard_records(shard: pathlib.Path) -> Iterator[CampaignRunRecord]:
@@ -27,56 +40,142 @@ def iter_shard_records(shard: pathlib.Path) -> Iterator[CampaignRunRecord]:
     A worker killed mid-append can leave a final partial line; every
     *complete* line was fsynced before its task's done marker, so a
     torn tail always belongs to a task that is still claimable and
-    will be re-executed — skipping it loses nothing.
+    will be re-executed — skipping it loses nothing.  Lines are
+    streamed, not slurped, so a shard never has to fit in memory
+    twice.
     """
     try:
-        text = shard.read_text()
+        handle = shard.open("rb")
     except FileNotFoundError:
         return
-    lines = text.splitlines()
-    for lineno, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
-        try:
-            payload = json.loads(line)
-        except json.JSONDecodeError:
-            if lineno == len(lines) and not text.endswith("\n"):
-                continue  # torn final append of a killed worker
+    with handle:
+        for lineno, raw in enumerate(handle, start=1):
+            terminated = raw.endswith(b"\n")
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if not terminated:
+                    continue  # torn final append of a killed worker
+                raise ConfigurationError(
+                    f"{shard}:{lineno} holds invalid record JSON"
+                ) from None
+            yield CampaignRunRecord.from_dict(payload)
+
+
+def read_segment_footer(path: pathlib.Path) -> dict:
+    """Validate a compacted segment's trailer and return its footer index."""
+    size = path.stat().st_size
+    with path.open("rb") as handle:
+        if size < 8:
+            raise ConfigurationError(f"{path} is too short to be a segment")
+        handle.seek(size - 8)
+        footer_len, magic = struct.unpack("<I4s", handle.read(8))
+        if magic != SEGMENT_MAGIC:
             raise ConfigurationError(
-                f"{shard}:{lineno} holds invalid record JSON"
-            ) from None
-        yield CampaignRunRecord.from_dict(payload)
+                f"{path} lacks the {SEGMENT_MAGIC!r} segment trailer"
+            )
+        if footer_len + 8 > size:
+            raise ConfigurationError(f"{path} declares an oversized footer")
+        handle.seek(size - 8 - footer_len)
+        footer = json.loads(handle.read(footer_len))
+    footer["records_end"] = size - 8 - footer_len
+    return footer
+
+
+def iter_segment_records(path: pathlib.Path) -> Iterator[CampaignRunRecord]:
+    """Stream one compacted segment's records (sorted by run id).
+
+    Records are length-prefixed, so the reader never holds more than
+    one record in memory; the footer index is validated first, and the
+    record region must end exactly where the footer begins.
+    """
+    footer = read_segment_footer(path)
+    with path.open("rb") as handle:
+        for _ in range(int(footer["count"])):
+            prefix = handle.read(4)
+            if len(prefix) < 4:
+                raise ConfigurationError(f"{path} is truncated mid-record")
+            (length,) = struct.unpack("<I", prefix)
+            payload = handle.read(length)
+            if len(payload) < length:
+                raise ConfigurationError(f"{path} is truncated mid-record")
+            yield CampaignRunRecord.from_dict(json.loads(payload))
+        if handle.tell() != footer["records_end"]:
+            raise ConfigurationError(
+                f"{path} record region does not match its footer index"
+            )
+
+
+def _sorted_shard_records(shard: pathlib.Path) -> list[CampaignRunRecord]:
+    """Residual (uncompacted) shard records, sorted for the k-way merge.
+
+    Residuals are bounded by each worker's compaction cadence, so this
+    in-memory sort is the small tail, not the sweep.
+    """
+    records = list(iter_shard_records(shard))
+    records.sort(key=lambda record: record.run_id)
+    return records
+
+
+def iter_queue_records(store: QueueStore) -> Iterator[CampaignRunRecord]:
+    """Merged, deduplicated record stream of a queue's segments + shards.
+
+    A ``heapq.merge`` over the per-file sorted streams; duplicates
+    (crash-induced re-executions, or a compaction interrupted between
+    segment publication and shard truncate) are adjacent in the merged
+    order, verified equal, and folded into one.
+    """
+    streams: list[Iterator[CampaignRunRecord]] = [
+        iter_segment_records(path) for path in store.segment_paths()
+    ]
+    streams.extend(
+        iter(_sorted_shard_records(shard))
+        for shard in sorted(store._dir("spool").glob("*.jsonl"))
+    )
+    previous: CampaignRunRecord | None = None
+    for record in heapq.merge(*streams, key=lambda r: r.run_id):
+        if previous is not None and previous.run_id == record.run_id:
+            if previous != record:
+                raise ConfigurationError(
+                    f"conflicting duplicate records for run {record.run_id!r} "
+                    "(two spool sources disagree; campaign runs are expected "
+                    "to be deterministic)"
+                )
+            continue
+        previous = record
+        yield record
 
 
 def collect(queue_dir, allow_partial: bool = False) -> CampaignResult:
-    """Merge a queue's spool shards into one canonical campaign result.
+    """Merge a queue's spooled records into one canonical campaign result.
 
     Raises :class:`~repro.exceptions.ConfigurationError` if tasks are
-    missing or failed, unless ``allow_partial`` (which returns whatever
-    completed — useful for inspecting a half-drained sweep).
+    missing or dead-lettered, unless ``allow_partial`` (which returns
+    whatever completed — useful for inspecting a half-drained sweep, or
+    for salvaging a sweep whose dead-lettered tasks are being triaged).
     """
     store = QueueStore(queue_dir)
-    shards = sorted(store._dir("spool").glob("*.jsonl"))
-    result = CampaignResult.merge(
-        spec=store.spec_dict,
-        parts=(iter_shard_records(shard) for shard in shards),
-    )
+    result = CampaignResult(spec=store.spec_dict, records=iter_queue_records(store))
 
     collected = {record.run_id for record in result.records}
     expected: dict[str, str] = {}  # task_id -> run_id
     for task in store.iter_tasks():
         expected[task.task_id] = task.run_id
-    failures = [o for o in store.outcomes() if o.status == "failed"]
+    failures = store.failed_outcomes()
     missing = sorted(set(expected.values()) - collected)
     if not allow_partial:
         if failures:
             detail = "; ".join(
-                f"{o.run_id} ({(o.error or '').strip().splitlines()[-1] if o.error else 'unknown error'})"
+                f"{o.run_id} after {o.attempts} attempt(s) "
+                f"({(o.error or '').strip().splitlines()[-1] if o.error else 'unknown error'})"
                 for o in failures[:5]
             )
             raise ConfigurationError(
-                f"queue {store.queue_dir} has {len(failures)} failed task(s): "
-                f"{detail}{' ...' if len(failures) > 5 else ''} "
+                f"queue {store.queue_dir} has {len(failures)} dead-lettered "
+                f"task(s): {detail}{' ...' if len(failures) > 5 else ''} "
                 "(use allow_partial / --allow-partial to collect the rest)"
             )
         if missing:

@@ -113,7 +113,14 @@ class Lease:
 
 @dataclasses.dataclass(frozen=True)
 class TaskOutcome:
-    """Terminal marker of one task (the contents of ``done/``/``failed/``)."""
+    """Terminal marker of one task (the contents of ``done/``/``failed/``).
+
+    ``attempts`` counts every execution attempt that reached a verdict
+    (the successful one included, for ``done``); ``failure_log`` is the
+    failure provenance — one entry per failed attempt, straight from
+    the retry ledger, so a dead-lettered task carries the full history
+    of which worker failed it when and why.
+    """
 
     task_id: str
     run_id: str
@@ -122,8 +129,14 @@ class TaskOutcome:
     #: Spool shard (file name under ``spool/``) holding the record;
     #: ``None`` for failed tasks.
     shard: str | None = None
-    #: Human-readable failure cause; ``None`` for completed tasks.
+    #: Human-readable failure cause (the *last* attempt's error);
+    #: ``None`` for completed tasks.
     error: str | None = None
+    #: Total execution attempts behind this outcome (>= 1).
+    attempts: int = 1
+    #: One ``{"attempt", "worker_id", "error", "at"}`` entry per failed
+    #: attempt, oldest first.
+    failure_log: tuple[dict[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.status not in TERMINAL_STATES:
@@ -132,9 +145,13 @@ class TaskOutcome:
             )
         if self.status == "done" and self.shard is None:
             raise ConfigurationError("a completed task must name its spool shard")
+        if self.attempts < 1:
+            raise ConfigurationError(f"attempts must be >= 1, got {self.attempts}")
 
     def to_dict(self) -> dict[str, Any]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        data["failure_log"] = [dict(entry) for entry in self.failure_log]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TaskOutcome":
@@ -145,6 +162,8 @@ class TaskOutcome:
             status=str(data["status"]),
             shard=data.get("shard"),
             error=data.get("error"),
+            attempts=int(data.get("attempts", 1)),
+            failure_log=tuple(dict(e) for e in data.get("failure_log") or ()),
         )
 
 
@@ -156,6 +175,14 @@ class QueueStatus:
     their TTL (reclaimable in-flight work of crashed workers);
     ``pending`` is what no worker has touched yet.  ``pending +
     claimed + expired + done + failed == total`` up to scan races.
+
+    ``failed`` counts **dead-lettered** tasks: tasks whose execution
+    raised on ``max_attempts`` consecutive attempts and that now hold a
+    permanent ``failed/`` marker.  ``retried`` counts tasks with at
+    least one recorded failed attempt in the retry ledger — whatever
+    their current state (being retried, eventually completed, or
+    dead-lettered), so it surfaces every task the retry policy had to
+    touch.
     """
 
     total: int
@@ -164,6 +191,8 @@ class QueueStatus:
     expired: int
     done: int
     failed: int
+    #: Tasks with >= 1 recorded failed attempt (see class docstring).
+    retried: int = 0
     #: Completed-task counts per worker id (from the done markers).
     workers: dict[str, int] = dataclasses.field(default_factory=dict)
 
@@ -187,6 +216,7 @@ class QueueStatus:
             expired=int(data["expired"]),
             done=int(data["done"]),
             failed=int(data["failed"]),
+            retried=int(data.get("retried", 0)),
             workers={str(k): int(v) for k, v in (data.get("workers") or {}).items()},
         )
 
@@ -198,6 +228,8 @@ class QueueStatus:
         ]
         if self.expired:
             parts.append(f"{self.expired} expired lease(s)")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
         if self.failed:
-            parts.append(f"{self.failed} FAILED")
+            parts.append(f"{self.failed} DEAD-LETTERED")
         return ", ".join(parts)

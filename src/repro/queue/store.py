@@ -11,11 +11,13 @@ on-disk layout and the full lease protocol.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
 import pathlib
 import re
+import struct
 import time
 from typing import Any, Iterator, Mapping
 
@@ -23,14 +25,32 @@ from ..campaign.spec import CampaignSpec, RunSpec, expand_spec
 from ..exceptions import ConfigurationError
 from .state import Lease, QueueStatus, QueueTask, TaskOutcome
 
-#: Store layout version stamped into ``spec.json``.
-LAYOUT_VERSION = 1
+#: Store layout version stamped into ``spec.json``.  Version 2 embeds
+#: the configuration digest in every task id (affine chunk claiming),
+#: adds the ``retries/`` ledger and ``segments/`` compaction
+#: directories, and records the retry policy in ``spec.json``.
+LAYOUT_VERSION = 2
 
 #: Default lease time-to-live (seconds without a heartbeat before any
 #: worker may reclaim an in-flight task).
 DEFAULT_TTL = 60.0
 
-_SUBDIRS = ("tasks", "leases", "reclaimed", "done", "failed", "spool")
+#: Default bound on execution attempts before a task that keeps
+#: *failing* (raising — crashes are handled by the lease protocol and
+#: don't count) is dead-lettered with a permanent ``failed/`` marker.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Setting this environment variable to a non-empty value other than
+#: ``"0"`` declares the queue's filesystem unable to provide atomic
+#: ``O_EXCL``-equivalent ``os.link`` semantics (classic NFSv2).  Claims
+#: then refuse to run instead of silently risking double execution.
+UNSAFE_LINK_ENV = "REPRO_QUEUE_LINK_UNSAFE"
+
+#: Magic trailer of a compacted spool segment (see ``compact_shard``).
+SEGMENT_MAGIC = b"RQS1"
+
+_SUBDIRS = ("tasks", "leases", "reclaimed", "done", "failed", "retries",
+            "spool", "segments")
 
 
 def _atomic_write_json(path: pathlib.Path, payload: Mapping[str, Any]) -> None:
@@ -50,10 +70,56 @@ def _read_json(path: pathlib.Path) -> dict[str, Any] | None:
         raise ConfigurationError(f"{path} holds invalid queue JSON: {exc}") from exc
 
 
+def config_digest(config_key: str) -> str:
+    """Short stable digest of a run's session-defining configuration."""
+    return hashlib.sha256(config_key.encode()).hexdigest()[:6]
+
+
 def task_id_for(index: int, run: RunSpec) -> str:
-    """Stable task id: expansion index prefix + run-key digest suffix."""
+    """Stable task id: ``{index:06d}-{config digest}-{run-key digest}``.
+
+    The expansion-index prefix keeps lexicographic directory order
+    equal to expansion order; the middle component is the digest of the
+    run's :attr:`~repro.campaign.spec.RunSpec.config_key`, so workers
+    can group tasks into configuration-affine chunks from the directory
+    listing alone (no task JSON reads); the run-key digest suffix
+    guards against a stale store being reused with a different spec.
+    """
     digest = hashlib.sha256(run.run_id.encode()).hexdigest()[:10]
-    return f"{index:06d}-{digest}"
+    return f"{index:06d}-{config_digest(run.config_key)}-{digest}"
+
+
+def task_config(task_id: str) -> str:
+    """The configuration digest embedded in a (layout v2) task id."""
+    parts = task_id.split("-")
+    if len(parts) != 3:
+        raise ConfigurationError(f"malformed task id {task_id!r}")
+    return parts[1]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueScan:
+    """One consistent-ish snapshot of a store's mutable directories.
+
+    Everything a worker needs to pick its next configuration chunk —
+    and everything :meth:`QueueStore.status` needs to summarise the
+    queue — from a single pass over the marker/lease/ledger listings,
+    so chunk selection and progress reporting share one scan instead
+    of re-walking the task directory per task.
+    """
+
+    done_ids: frozenset[str]
+    failed_ids: frozenset[str]
+    #: Live *and* expired leases by task id (terminal tasks excluded).
+    leases: dict[str, Lease]
+    #: Task ids with at least one recorded failed attempt.
+    retried_ids: frozenset[str]
+    #: POSIX timestamp the scan was taken at (lease-expiry reference).
+    now: float
+
+    @property
+    def terminal_ids(self) -> frozenset[str]:
+        return self.done_ids | self.failed_ids
 
 
 #: Worker ids become lease payload fields *and* file-name components
@@ -82,10 +148,16 @@ class QueueStore:
     described in the :mod:`repro.queue` docstring.
     """
 
+    #: Test hook: seconds to sleep between publishing a compacted
+    #: segment and truncating the source shard (widens the
+    #: mid-compaction crash window for the chaos harness).
+    _compact_pause = 0.0
+
     def __init__(self, queue_dir):
         self.queue_dir = pathlib.Path(queue_dir)
         self._spec_payload: dict[str, Any] | None = None
         self._task_ids: list[str] | None = None
+        self._config_groups: list[tuple[str, list[str]]] | None = None
         #: Claim-scan cursor: tasks before it were terminal or leased
         #: when last visited, so the next scan starts where the last
         #: one left off (and wraps), keeping a drain O(tasks) overall
@@ -114,16 +186,33 @@ class QueueStore:
     def shard_path(self, worker_id: str) -> pathlib.Path:
         return self._dir("spool") / f"{worker_id}.jsonl"
 
+    def retries_path(self, task_id: str) -> pathlib.Path:
+        return self._dir("retries") / f"{task_id}.json"
+
     # ----------------------------------------------------------------- submit
 
     @classmethod
-    def submit(cls, spec: CampaignSpec, queue_dir) -> "QueueStore":
+    def submit(
+        cls,
+        spec: CampaignSpec,
+        queue_dir,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> "QueueStore":
         """Materialise a campaign spec as an on-disk task store.
 
         Refuses to overwrite an existing queue (``spec.json`` present):
         a queue directory is append-only state shared with possibly
         live workers; start a fresh sweep in a fresh directory.
+
+        ``max_attempts`` is the queue-wide retry policy: how many times
+        a task may *fail* (raise) before it is dead-lettered.  It is
+        stored in ``spec.json`` so every worker — any host, any start
+        time — applies the same bound.
         """
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
         store = cls(queue_dir)
         if store.spec_path.exists():
             raise ConfigurationError(
@@ -148,6 +237,7 @@ class QueueStore:
                 "version": LAYOUT_VERSION,
                 "spec": spec.to_dict(),
                 "n_tasks": len(runs),
+                "retry": {"max_attempts": max_attempts},
             },
         )
         return store
@@ -183,6 +273,12 @@ class QueueStore:
     def n_tasks(self) -> int:
         return int(self._payload()["n_tasks"])
 
+    @property
+    def max_attempts(self) -> int:
+        """The queue-wide retry bound recorded at submit time."""
+        retry = self._payload().get("retry") or {}
+        return int(retry.get("max_attempts", DEFAULT_MAX_ATTEMPTS))
+
     # ------------------------------------------------------------------ tasks
 
     def task_ids(self) -> list[str]:
@@ -214,6 +310,28 @@ class QueueStore:
             self.outcome_path(task_id, "done").exists()
             or self.outcome_path(task_id, "failed").exists()
         )
+
+    def config_groups(self) -> list[tuple[str, list[str]]]:
+        """Task ids grouped into configuration-contiguous chunks.
+
+        One ``(config digest, task ids)`` pair per distinct
+        :attr:`~repro.campaign.spec.RunSpec.config_key`, in expansion
+        order.  Derived purely from the cached task-id listing (the
+        digest is embedded in every task id), so grouping a million-run
+        queue costs one directory listing, not a million JSON reads.
+        Expansion nests the sweep axes with the configuration axes
+        outermost, so each group is one contiguous span of the task
+        order.
+        """
+        if self._config_groups is None:
+            groups: list[tuple[str, list[str]]] = []
+            for task_id in self.task_ids():
+                config = task_config(task_id)
+                if not groups or groups[-1][0] != config:
+                    groups.append((config, []))
+                groups[-1][1].append(task_id)
+            self._config_groups = groups
+        return self._config_groups
 
     # ------------------------------------------------------------------ leases
 
@@ -273,12 +391,75 @@ class QueueStore:
                     count += 1
         return count
 
+    @staticmethod
+    def _check_link_safety() -> None:
+        """The documented adversarial-filesystem gate.
+
+        Mutual exclusion rests entirely on atomic ``os.link`` /
+        ``O_EXCL`` creation, which classic NFSv2 does not guarantee.
+        Exporting :data:`UNSAFE_LINK_ENV` declares the filesystem
+        adversarial and makes every claim refuse loudly instead of
+        silently risking double execution.
+        """
+        flag = os.environ.get(UNSAFE_LINK_ENV, "")
+        if flag and flag != "0":
+            raise ConfigurationError(
+                f"{UNSAFE_LINK_ENV} is set: this filesystem was declared "
+                "unable to provide atomic O_EXCL/os.link semantics (classic "
+                "NFSv2), so lease claims cannot guarantee single execution; "
+                "host the queue directory on a local disk or an NFSv3+ mount"
+            )
+
+    def try_claim_task(
+        self, task_id: str, worker_id: str, ttl: float = DEFAULT_TTL
+    ) -> QueueTask | None:
+        """Attempt to claim one specific task (``None`` = unavailable).
+
+        Terminal tasks are never claimed; an existing live lease loses
+        the claim, an expired one is tombstoned (rename — single
+        winner) and the claim retried.  This is the single-task
+        primitive under both :meth:`claim` (scan order) and the
+        configuration-affine chunk loop of
+        :class:`~repro.queue.worker.QueueWorker`.
+        """
+        self._check_link_safety()
+        if self.is_terminal(task_id):
+            return None
+        lease = self._try_claim(task_id, worker_id, ttl)
+        if lease is None:
+            current = self.read_lease(task_id)
+            if current is None or not current.expired(time.time()):
+                return None  # live claim (or just released+finished)
+            if not self._reclaim(task_id, current, worker_id):
+                return None  # lost the reclaim race
+            lease = self._try_claim(task_id, worker_id, ttl)
+            if lease is None:
+                return None  # a third worker claimed between our two steps
+        if self.is_terminal(task_id):
+            # Completed between our terminal check and the claim
+            # (complete() removes the lease *after* the marker, so
+            # the marker check here is authoritative).
+            self.release(task_id, worker_id)
+            return None
+        attempts = self.read_retries(task_id)
+        if len(attempts) >= self.max_attempts:
+            # The previous holder recorded the final failed attempt but
+            # died before publishing the dead-letter marker.  Finalise
+            # it here (we hold the lease — single writer) instead of
+            # burning another attempt on an exhausted task.
+            self.fail(
+                self.load_task(task_id), worker_id,
+                str(attempts[-1].get("error") or "unknown error"),
+                attempts=len(attempts), failure_log=tuple(attempts),
+            )
+            return None
+        return self.load_task(task_id)
+
     def claim(self, worker_id: str, ttl: float = DEFAULT_TTL) -> QueueTask | None:
         """Atomically claim the first available task (``None`` = drained/busy).
 
-        Walks the deterministic task order, skipping terminal tasks;
-        an existing live lease skips the task, an expired one is
-        tombstoned (rename — single winner) and the claim retried.
+        Walks the deterministic task order via :meth:`try_claim_task`,
+        starting from the per-handle cursor.
         """
         if ttl <= 0:
             raise ConfigurationError(f"lease ttl must be > 0, got {ttl}")
@@ -286,27 +467,10 @@ class QueueStore:
         ids = self.task_ids()
         for step in range(len(ids)):
             index = (self._cursor + step) % len(ids)
-            task_id = ids[index]
-            if self.is_terminal(task_id):
-                continue
-            lease = self._try_claim(task_id, worker_id, ttl)
-            if lease is None:
-                current = self.read_lease(task_id)
-                if current is None or not current.expired(time.time()):
-                    continue  # live claim (or just released+finished): skip
-                if not self._reclaim(task_id, current, worker_id):
-                    continue  # lost the reclaim race
-                lease = self._try_claim(task_id, worker_id, ttl)
-                if lease is None:
-                    continue  # a third worker claimed between our two steps
-            if self.is_terminal(task_id):
-                # Completed between our terminal check and the claim
-                # (complete() removes the lease *after* the marker, so
-                # the marker check here is authoritative).
-                self.release(task_id, worker_id)
-                continue
-            self._cursor = (index + 1) % len(ids)
-            return self.load_task(task_id)
+            task = self.try_claim_task(ids[index], worker_id, ttl)
+            if task is not None:
+                self._cursor = (index + 1) % len(ids)
+                return task
         return None
 
     def heartbeat(self, task_id: str, worker_id: str) -> bool:
@@ -384,27 +548,176 @@ class QueueStore:
             pos = start
         handle.truncate(0)
 
+    # -------------------------------------------------------------- compaction
+
+    def segment_paths(self, worker_id: str | None = None) -> list[pathlib.Path]:
+        """Compacted segments, sorted (= publication order per worker)."""
+        pattern = f"{worker_id}-*.seg" if worker_id else "*.seg"
+        return sorted(self._dir("segments").glob(pattern))
+
+    def compact_shard(self, worker_id: str) -> pathlib.Path | None:
+        """Fold the worker's JSONL shard into one compacted segment.
+
+        The shard's complete lines are sorted by run id and published
+        as a length-prefixed binary segment with a JSON footer index
+        (layout below), after which the shard is truncated to empty.
+        Publication is atomic (temp file + fsync + ``os.replace``) and
+        ordered *before* the truncate, so a crash anywhere inside
+        compaction leaves every record readable — at worst both the
+        segment and the shard hold a copy, which the collector's
+        dedupe-and-verify merge folds back into one.
+
+        Segment layout (all integers little-endian)::
+
+            record*   :=  length:u32  payload (canonical record JSON)
+            footer    :=  JSON {"version", "worker_id", "count",
+                                "first_run_id", "last_run_id"}
+            trailer   :=  footer_length:u32  b"RQS1"
+
+        Only the shard's owner may call this (same single-incarnation
+        contract as :meth:`append_record`).  Returns the segment path,
+        or ``None`` if the shard had no complete records.
+        """
+        validate_worker_id(worker_id)
+        shard = self.shard_path(worker_id)
+        entries: list[tuple[str, bytes]] = []
+        try:
+            with shard.open("rb") as handle:
+                for raw in handle:
+                    if not raw.endswith(b"\n"):
+                        break  # torn tail of a killed predecessor
+                    line = raw.strip()
+                    if line:
+                        entries.append((json.loads(line)["run_id"], line))
+        except FileNotFoundError:
+            return None
+        if not entries:
+            return None
+        entries.sort(key=lambda pair: pair[0])
+
+        existing = self.segment_paths(worker_id)
+        seq = (
+            int(existing[-1].stem.rsplit("-", 1)[1]) + 1 if existing else 0
+        )
+        path = self._dir("segments") / f"{worker_id}-{seq:06d}.seg"
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            for _, payload in entries:
+                handle.write(struct.pack("<I", len(payload)))
+                handle.write(payload)
+            footer = json.dumps({
+                "version": 1,
+                "worker_id": worker_id,
+                "count": len(entries),
+                "first_run_id": entries[0][0],
+                "last_run_id": entries[-1][0],
+            }, sort_keys=True).encode()
+            handle.write(footer)
+            handle.write(struct.pack("<I", len(footer)))
+            handle.write(SEGMENT_MAGIC)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        # fsync the directory entry too: without it a power loss could
+        # make the (fsynced) shard truncate durable while the segment's
+        # rename is not — destroying both copies of the batch.  Process
+        # death alone can't produce that ordering (the page cache
+        # survives), which is exactly why the SIGKILL chaos harness
+        # cannot substitute for this line.
+        dir_fd = os.open(self._dir("segments"), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        if self._compact_pause:
+            time.sleep(self._compact_pause)
+        with shard.open("r+b") as handle:
+            handle.truncate(0)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return path
+
+    # ------------------------------------------------------------- retry ledger
+
+    def read_retries(self, task_id: str) -> list[dict[str, Any]]:
+        """The task's failed-attempt ledger (oldest first; [] if clean)."""
+        payload = _read_json(self.retries_path(task_id))
+        if payload is None:
+            return []
+        return [dict(entry) for entry in payload.get("attempts") or ()]
+
+    def record_failure(
+        self, task: QueueTask, worker_id: str, error: str
+    ) -> TaskOutcome | None:
+        """Record one failed attempt; dead-letter after ``max_attempts``.
+
+        Appends the failure to the task's retry ledger (only the lease
+        holder executes a task, so ledger writes are single-writer and
+        the atomic replace suffices).  While attempts remain, the lease
+        is released and the task goes straight back to claimable —
+        ``None`` is returned.  On the ``max_attempts``-th failure the
+        task is dead-lettered: a permanent ``failed/`` marker carrying
+        the full failure provenance is written and returned.
+        """
+        attempts = self.read_retries(task.task_id)
+        attempts.append({
+            "attempt": len(attempts) + 1,
+            "worker_id": worker_id,
+            "error": error,
+            "at": time.time(),
+        })
+        _atomic_write_json(
+            self.retries_path(task.task_id),
+            {"task_id": task.task_id, "run_id": task.run_id, "attempts": attempts},
+        )
+        if len(attempts) >= self.max_attempts:
+            return self.fail(
+                task, worker_id, error,
+                attempts=len(attempts), failure_log=tuple(attempts),
+            )
+        self.release(task.task_id, worker_id)
+        return None
+
+    # ----------------------------------------------------------------- markers
+
     def complete(self, task: QueueTask, worker_id: str, shard: str) -> TaskOutcome:
-        """Mark a task done (marker first, then lease release)."""
+        """Mark a task done (marker first, then lease release).
+
+        The marker carries the attempt count and failure provenance
+        from the retry ledger, so a task that succeeded on its third
+        try is distinguishable from one that sailed through.
+        """
+        failures = self.read_retries(task.task_id)
         outcome = TaskOutcome(
             task_id=task.task_id,
             run_id=task.run_id,
             worker_id=worker_id,
             status="done",
             shard=shard,
+            attempts=len(failures) + 1,
+            failure_log=tuple(failures),
         )
         _atomic_write_json(self.outcome_path(task.task_id, "done"), outcome.to_dict())
         self.release(task.task_id, worker_id)
         return outcome
 
-    def fail(self, task: QueueTask, worker_id: str, error: str) -> TaskOutcome:
-        """Mark a task permanently failed (marker first, then release)."""
+    def fail(
+        self,
+        task: QueueTask,
+        worker_id: str,
+        error: str,
+        attempts: int = 1,
+        failure_log: tuple[dict[str, Any], ...] = (),
+    ) -> TaskOutcome:
+        """Dead-letter a task (permanent marker first, then release)."""
         outcome = TaskOutcome(
             task_id=task.task_id,
             run_id=task.run_id,
             worker_id=worker_id,
             status="failed",
             error=error,
+            attempts=attempts,
+            failure_log=failure_log,
         )
         _atomic_write_json(self.outcome_path(task.task_id, "failed"), outcome.to_dict())
         self.release(task.task_id, worker_id)
@@ -426,10 +739,48 @@ class QueueStore:
                     found.append(TaskOutcome.from_dict(payload))
         return found
 
+    def failed_outcomes(self) -> list[TaskOutcome]:
+        """Only the dead-letter markers (an O(dead) read, not O(done))."""
+        found = []
+        for path in sorted(self._dir("failed").glob("*.json")):
+            payload = _read_json(path)
+            if payload is not None:
+                found.append(TaskOutcome.from_dict(payload))
+        return found
+
     # ----------------------------------------------------------------- status
 
-    def status(self, with_workers: bool = False) -> QueueStatus:
-        """One scan of the store's directories, summarised.
+    def scan(self) -> QueueScan:
+        """One pass over the mutable directories (markers/leases/ledgers).
+
+        The snapshot behind both :meth:`status` and the worker's
+        configuration-chunk selection, so one listing serves both.
+        """
+        done_ids = frozenset(p.stem for p in self._dir("done").glob("*.json"))
+        failed_ids = frozenset(p.stem for p in self._dir("failed").glob("*.json"))
+        retried_ids = frozenset(
+            p.stem for p in self._dir("retries").glob("*.json")
+        )
+        now = time.time()
+        leases: dict[str, Lease] = {}
+        for path in self._dir("leases").glob("*.json"):
+            if path.stem in done_ids or path.stem in failed_ids:
+                continue  # release raced the scan; terminal wins
+            lease = self.read_lease(path.stem)
+            if lease is not None:
+                leases[path.stem] = lease
+        return QueueScan(
+            done_ids=done_ids,
+            failed_ids=failed_ids,
+            leases=leases,
+            retried_ids=retried_ids,
+            now=now,
+        )
+
+    def status(
+        self, with_workers: bool = False, scan: QueueScan | None = None
+    ) -> QueueStatus:
+        """Summarise the store (from ``scan``, or a fresh one).
 
         ``with_workers`` additionally reads every done marker to build
         the per-worker completion breakdown — an O(done) JSON pass
@@ -437,28 +788,22 @@ class QueueStore:
         opt-in (``repro campaign status`` wants it, worker loops
         don't).
         """
+        if scan is None:
+            scan = self.scan()
         total = self.n_tasks
-        done_ids = {p.stem for p in self._dir("done").glob("*.json")}
-        failed_ids = {p.stem for p in self._dir("failed").glob("*.json")}
-        now = time.time()
         claimed = expired = 0
-        for path in self._dir("leases").glob("*.json"):
-            if path.stem in done_ids or path.stem in failed_ids:
-                continue  # release raced the scan; terminal wins
-            lease = self.read_lease(path.stem)
-            if lease is None:
-                continue
-            if lease.expired(now):
+        for lease in scan.leases.values():
+            if lease.expired(scan.now):
                 expired += 1
             else:
                 claimed += 1
         workers: dict[str, int] = {}
         if with_workers:
-            for task_id in sorted(done_ids):
+            for task_id in sorted(scan.done_ids):
                 outcome = self.read_outcome(task_id)
                 if outcome is not None:
                     workers[outcome.worker_id] = workers.get(outcome.worker_id, 0) + 1
-        done, failed = len(done_ids), len(failed_ids)
+        done, failed = len(scan.done_ids), len(scan.failed_ids)
         return QueueStatus(
             total=total,
             pending=max(0, total - done - failed - claimed - expired),
@@ -466,6 +811,7 @@ class QueueStore:
             expired=expired,
             done=done,
             failed=failed,
+            retried=len(scan.retried_ids),
             workers=workers,
         )
 
@@ -475,9 +821,15 @@ class QueueStore:
 
 # Re-exported for callers that build task ids by hand (tests, tools).
 __all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_TTL",
     "LAYOUT_VERSION",
+    "QueueScan",
     "QueueStore",
+    "SEGMENT_MAGIC",
+    "UNSAFE_LINK_ENV",
+    "config_digest",
+    "task_config",
     "task_id_for",
     "validate_worker_id",
 ]

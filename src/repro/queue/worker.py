@@ -12,15 +12,44 @@ per-process memoised :class:`~repro.api.session.SolverSession` (and
 the PR 3 disk trajectory cache via ``REPRO_CACHE_DIR``), so a queue
 worker is exactly as fast per task as a process-pool worker.
 
+Configuration-affine claiming
+-----------------------------
+By default a worker drains the queue **chunk by chunk** rather than
+task by task: it picks one configuration group (tasks sharing a
+:attr:`~repro.campaign.spec.RunSpec.config_key`, contiguous in the
+task order and identifiable from the task id alone), preferring groups
+no other live worker is active in, and claims every remaining task of
+that group before scanning for the next.  Per-task leases stay the
+only mutual-exclusion mechanism — affinity is a *preference*, so crash
+recovery, work stealing at the tail (when only foreign-active groups
+remain) and byte-identical collects are untouched.  What changes is
+warm-up cost: each worker sets up the
+:class:`~repro.api.session.SolverSession` and reference trajectory of
+a configuration roughly once per *group* instead of once per worker
+per interleaved task run.  Chunk selection doubles as the progress
+scan: the directory listing it needs also refreshes the
+:class:`QueueStatus` snapshot behind the progress callback, so a drain
+does one scan per chunk boundary (plus a time-capped refresh), not one
+per task.
+
 While a solve runs, a daemon heartbeat thread renews the task's lease
 every ``ttl / 4`` seconds; if the renewal discovers the lease lost
 (the worker was stalled past the TTL and another worker reclaimed the
 task), the result is discarded instead of spooled — the reclaimer owns
 the task now, and determinism makes its record identical anyway.
+
+A task whose solve *raises* is handed to the store's retry policy
+(:meth:`~repro.queue.store.QueueStore.record_failure`): the failure is
+recorded in the retry ledger and the task goes back to claimable until
+``max_attempts`` is exhausted, at which point it is dead-lettered.
+Every ``compact_every`` completed records the worker folds its spool
+shard into a compacted segment (:meth:`~repro.queue.store.QueueStore.
+compact_shard`), keeping shards short and collects streamable.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import os
 import secrets
@@ -33,7 +62,12 @@ from typing import Callable
 from ..campaign.results import CampaignRunRecord
 from ..exceptions import ConfigurationError
 from .state import QueueStatus, QueueTask
-from .store import DEFAULT_TTL, QueueStore, validate_worker_id
+from .store import DEFAULT_TTL, QueueStore, task_config, validate_worker_id
+
+#: Default compaction cadence: fold the spool shard into a segment
+#: every this-many completed records (small sweeps never hit it; the
+#: million-run regime is what it bounds).
+DEFAULT_COMPACT_EVERY = 256
 
 
 def default_worker_id() -> str:
@@ -54,7 +88,10 @@ class WorkerSummary:
     worker_id: str
     claimed: int = 0
     done: int = 0
+    #: Tasks this worker dead-lettered (max_attempts exhausted).
     failed: int = 0
+    #: Failed attempts that were recorded and re-queued for retry.
+    retried: int = 0
     #: Results computed but discarded because the lease was lost.
     abandoned: int = 0
     #: Total seconds spent inside solves (ETA estimation).
@@ -62,7 +99,7 @@ class WorkerSummary:
 
     @property
     def seconds_per_task(self) -> float | None:
-        finished = self.done + self.failed
+        finished = self.done + self.failed + self.retried
         return self.busy_seconds / finished if finished else None
 
 
@@ -113,24 +150,36 @@ class QueueWorker:
         poll_interval: float = 0.5,
         progress: WorkerProgressFn | None = None,
         status_interval: float = 1.0,
+        affine: bool = True,
+        compact_every: int | None = DEFAULT_COMPACT_EVERY,
     ):
         if ttl <= 0:
             raise ConfigurationError(f"lease ttl must be > 0, got {ttl}")
+        if compact_every is not None and compact_every < 1:
+            raise ConfigurationError(
+                f"compact_every must be >= 1 (or None), got {compact_every}"
+            )
         self.store = store
         self.worker_id = validate_worker_id(worker_id or default_worker_id())
         self.ttl = float(ttl)
         self.poll_interval = float(poll_interval)
         self.progress = progress
-        #: Minimum seconds between the full queue-directory scans that
-        #: feed the progress callback's :class:`QueueStatus`.  A scan
-        #: is O(tasks), so scanning after *every* task would make a
-        #: drain O(tasks²) in filesystem operations; between refreshes
-        #: the cached status is advanced with this worker's own
-        #: counters (``0`` forces a fresh scan per task — tests).
+        #: Minimum seconds between *extra* full queue scans for the
+        #: progress callback's :class:`QueueStatus` (the regular scans
+        #: happen at chunk boundaries); between refreshes the cached
+        #: status is advanced with this worker's own counters.
         self.status_interval = float(status_interval)
+        #: Configuration-affine chunk claiming (see module docstring);
+        #: ``False`` falls back to plain scan-order claiming.
+        self.affine = bool(affine)
+        #: Fold the spool shard into a compacted segment every N
+        #: completed records (``None`` disables compaction).
+        self.compact_every = compact_every
         self.summary = WorkerSummary(worker_id=self.worker_id)
+        self._chunk: collections.deque[str] = collections.deque()
         self._status_cache: "QueueStatus | None" = None
         self._status_at = float("-inf")
+        self._counts_at_scan = (0, 0)
 
     # ------------------------------------------------------------------ loop
 
@@ -143,7 +192,7 @@ class QueueWorker:
         ``max_tasks`` bounds this call (testing, time-sliced workers).
         """
         while max_tasks is None or self.summary.claimed < max_tasks:
-            task = self.store.claim(self.worker_id, ttl=self.ttl)
+            task = self._next_task()
             if task is None:
                 if not wait or self.store.status().drained:
                     break
@@ -152,6 +201,66 @@ class QueueWorker:
             self.summary.claimed += 1
             self._execute(task)
         return self.summary
+
+    # -------------------------------------------------------- chunk claiming
+
+    def _next_task(self) -> QueueTask | None:
+        """The next claimed task, configuration-affine when enabled."""
+        if not self.affine:
+            return self.store.claim(self.worker_id, ttl=self.ttl)
+        task = self._claim_from_chunk()
+        if task is not None:
+            return task
+        if not self._select_chunk():
+            return None
+        # One chunk per call: if every task of the fresh chunk is
+        # claimed from under us, return None and let run() poll —
+        # never spin on back-to-back directory scans.
+        return self._claim_from_chunk()
+
+    def _claim_from_chunk(self) -> QueueTask | None:
+        while self._chunk:
+            task = self.store.try_claim_task(
+                self._chunk.popleft(), self.worker_id, self.ttl
+            )
+            if task is not None:
+                return task
+        return None
+
+    def _select_chunk(self) -> bool:
+        """Pick the next configuration chunk (one scan, reused for status).
+
+        Preference order: the first configuration group with claimable
+        tasks and **no live foreign lease** (a group another worker is
+        actively draining is someone else's warm session); if every
+        remaining group is foreign-active, steal from the first one
+        anyway — an idle worker at the sweep's tail is worse than a
+        redundant warm-up.
+        """
+        scan = self.store.scan()
+        self._refresh_status(scan)
+        foreign_configs = {
+            task_config(task_id)
+            for task_id, lease in scan.leases.items()
+            if lease.worker_id != self.worker_id and not lease.expired(scan.now)
+        }
+        fallback: list[str] | None = None
+        for config, task_ids in self.store.config_groups():
+            remaining = [t for t in task_ids if t not in scan.terminal_ids]
+            if not remaining:
+                continue
+            if config in foreign_configs:
+                if fallback is None:
+                    fallback = remaining
+                continue
+            self._chunk = collections.deque(remaining)
+            return True
+        if fallback is not None:
+            self._chunk = collections.deque(fallback)
+            return True
+        return False
+
+    # --------------------------------------------------------------- execute
 
     def _execute(self, task: QueueTask) -> None:
         from ..campaign.executor import run_one
@@ -182,45 +291,57 @@ class QueueWorker:
             # task; the result is theirs to produce (identically).
             self.summary.abandoned += 1
         elif error is not None:
-            # A *failure* marker is permanent and, unlike the done
-            # path, has no dedupe-and-verify safety net — so before
-            # writing one, re-verify lease ownership directly (the
-            # heartbeat thread only samples every ttl/4 seconds, and a
-            # stalled worker may have lost the task to a reclaimer
-            # who completed it successfully).
+            # Ledger writes and failure markers are permanent and,
+            # unlike the done path, have no dedupe-and-verify safety
+            # net — so before recording anything, re-verify lease
+            # ownership directly (the heartbeat thread only samples
+            # every ttl/4 seconds, and a stalled worker may have lost
+            # the task to a reclaimer who completed it successfully).
             lease = self.store.read_lease(task.task_id)
             if lease is None or lease.worker_id != self.worker_id:
                 self.summary.abandoned += 1
+            elif self.store.record_failure(task, self.worker_id, error) is None:
+                self.summary.retried += 1
             else:
-                self.store.fail(task, self.worker_id, error)
                 self.summary.failed += 1
         else:
             shard = self.store.append_record(self.worker_id, record)
             self.store.complete(task, self.worker_id, shard)
             self.summary.done += 1
+            if (
+                self.compact_every is not None
+                and self.summary.done % self.compact_every == 0
+            ):
+                self.store.compact_shard(self.worker_id)
 
         if self.progress is not None:
             self.progress(self.summary, self._progress_status(), record)
 
+    # ---------------------------------------------------------------- status
+
+    def _refresh_status(self, scan=None) -> "QueueStatus":
+        self._status_cache = self.store.status(scan=scan)
+        self._status_at = time.monotonic()
+        self._counts_at_scan = (self.summary.done, self.summary.failed)
+        return self._status_cache
+
     def _progress_status(self) -> "QueueStatus":
         """Queue status for progress lines, at bounded scan cost.
 
-        A full directory scan runs at most once per
-        ``status_interval`` seconds; in between, the cached snapshot
-        is advanced by this worker's own completions (done up, pending
-        down), which keeps the per-task progress line honest about
-        *this* worker at O(1) cost and merely slightly stale about its
-        peers.
+        Chunk selection already refreshes the snapshot once per chunk
+        boundary from its own directory scan; between boundaries an
+        extra full scan runs at most once per ``status_interval``
+        seconds, and otherwise the cached snapshot is advanced by this
+        worker's own completions (done up, pending down), which keeps
+        the per-task progress line honest about *this* worker at O(1)
+        cost and merely slightly stale about its peers.
         """
         now = time.monotonic()
         if (
             self._status_cache is None
             or now - self._status_at >= self.status_interval
         ):
-            self._status_cache = self.store.status()
-            self._status_at = now
-            self._counts_at_scan = (self.summary.done, self.summary.failed)
-            return self._status_cache
+            return self._refresh_status()
         done_extra = self.summary.done - self._counts_at_scan[0]
         failed_extra = self.summary.failed - self._counts_at_scan[1]
         cached = self._status_cache
@@ -241,6 +362,8 @@ def run_worker(
     wait: bool = False,
     cache_dir: str | None = None,
     progress: WorkerProgressFn | None = None,
+    affine: bool = True,
+    compact_every: int | None = DEFAULT_COMPACT_EVERY,
 ) -> WorkerSummary:
     """Convenience wrapper: open the store and drain it.
 
@@ -252,7 +375,8 @@ def run_worker(
 
     store = QueueStore(queue_dir)
     worker = QueueWorker(
-        store, worker_id=worker_id, ttl=ttl, progress=progress
+        store, worker_id=worker_id, ttl=ttl, progress=progress,
+        affine=affine, compact_every=compact_every,
     )
     with cache_dir_env(cache_dir):
         return worker.run(max_tasks=max_tasks, wait=wait)

@@ -10,6 +10,9 @@ end-to-end enforcement lives in
 
 from __future__ import annotations
 
+import pathlib
+import warnings
+
 import numpy as np
 import pytest
 
@@ -58,6 +61,45 @@ def test_resolve_backend_names_aliases_and_instances():
     assert isinstance(resolve_backend(None), VectorizedBackend)  # default
     instance = LoopedBackend()
     assert resolve_backend(instance) is instance
+
+
+class TestLoopedDemotion:
+    """The looped backend is test-only: deprecated outside test runs,
+    but still registered and exercised by the equivalence suite."""
+
+    def test_non_test_construction_warns(self, monkeypatch):
+        # Simulate a production process: no pytest marker env var.
+        monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+        monkeypatch.delenv("REPRO_ALLOW_LOOPED", raising=False)
+        with pytest.warns(DeprecationWarning, match="'looped' kernel backend"):
+            LoopedBackend()
+        # ...including through the registry path every selector uses.
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            resolve_backend("looped")
+
+    def test_allow_env_opts_back_in_silently(self, monkeypatch):
+        monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+        monkeypatch.setenv("REPRO_ALLOW_LOOPED", "1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            LoopedBackend()
+
+    def test_under_pytest_construction_stays_silent(self):
+        # The equivalence property suite constructs looped freely; a
+        # warning here would explode under filterwarnings=error.
+        assert "PYTEST_CURRENT_TEST" in __import__("os").environ
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolve_backend("looped")
+
+    def test_looped_remains_registered_and_equivalence_tested(self):
+        assert "looped" in available_backends()
+        # The equivalence suite pins looped as its baseline — keep the
+        # demotion honest by asserting the suite really exercises it.
+        import tests.properties.test_backend_equivalence as equivalence
+
+        source = pathlib.Path(equivalence.__file__).read_text()
+        assert "looped" in source
 
 
 def test_cluster_default_backend_and_switching():

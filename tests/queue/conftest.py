@@ -28,3 +28,22 @@ def queue_spec(**overrides) -> CampaignSpec:
 @pytest.fixture
 def spec() -> CampaignSpec:
     return queue_spec()
+
+
+def fake_record(task):
+    """A cheap fake record for store-level tests (no solve needed)."""
+    from repro.campaign.results import CampaignRunRecord
+
+    run = task.run
+    return CampaignRunRecord(
+        run_id=run.run_id, problem=run.problem, scale=run.scale,
+        n_nodes=run.n_nodes, preconditioner=run.preconditioner,
+        strategy=run.strategy, T=run.T, phi=run.phi,
+        scenario_kind=run.scenario.kind,
+        scenario_params=dict(run.scenario.params),
+        repetition=run.repetition, seed=run.seed, converged=True,
+        iterations=5, executed_iterations=5, relative_residual=1e-9,
+        modeled_time=1.0, recovery_time=0.0, reference_time=1.0,
+        reference_iterations=5, total_overhead=0.0, recovery_overhead=0.0,
+        n_failures=0, failure_iterations=(), solution_error=0.0,
+    )

@@ -34,7 +34,7 @@ def test_full_queue_lifecycle_via_cli(tmp_path, spec_file, capsys):
     assert main(["campaign", "worker", "--queue", queue, "--id", "cli-w1"]) == 0
     worker_out = capsys.readouterr().out
     assert "cli-w1" in worker_out
-    assert "4 done, 0 failed" in worker_out
+    assert "4 done, 0 retried, 0 dead-lettered" in worker_out
     assert "s/task" in worker_out  # the progress/ETA line rendered
 
     assert main(["campaign", "status", "--queue", queue, "--json"]) == 0

@@ -1,0 +1,402 @@
+"""Queue hardening: configuration-affine claiming, spool compaction,
+retry ledger mechanics, and the adversarial-filesystem gate."""
+
+import json
+
+import pytest
+
+from repro.campaign import execute_campaign
+from repro.campaign.spec import expand_spec
+from repro.exceptions import ConfigurationError
+from repro.queue import (
+    QueueStore,
+    QueueWorker,
+    UNSAFE_LINK_ENV,
+    collect,
+    config_digest,
+    iter_segment_records,
+    run_worker,
+    task_config,
+)
+from repro.queue.collect import read_segment_footer
+
+from .conftest import fake_record, queue_spec
+
+pytestmark = pytest.mark.campaign
+
+
+def multi_config_spec(**overrides):
+    """Two preconditioners -> two configuration groups (8 tasks)."""
+    return queue_spec(
+        name="affine-unit",
+        preconditioners=("block_jacobi", "jacobi"),
+        **overrides,
+    )
+
+
+@pytest.fixture
+def multi_store(tmp_path) -> QueueStore:
+    return QueueStore.submit(multi_config_spec(), tmp_path / "queue")
+
+
+class TestTaskIdConfigDigest:
+    def test_task_ids_embed_the_config_digest(self, multi_store):
+        for task in multi_store.iter_tasks():
+            assert task_config(task.task_id) == config_digest(task.run.config_key)
+
+    def test_config_groups_are_contiguous_and_complete(self, multi_store):
+        groups = multi_store.config_groups()
+        assert len(groups) == 2  # one per preconditioner
+        flattened = [t for _, task_ids in groups for t in task_ids]
+        assert flattened == multi_store.task_ids()  # contiguous spans
+        for config, task_ids in groups:
+            assert {task_config(t) for t in task_ids} == {config}
+
+    def test_malformed_task_id_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed task id"):
+            task_config("000001-deadbeef")
+
+
+class TestAffineClaiming:
+    def test_single_worker_drains_configuration_contiguously(self, multi_store):
+        worker = QueueWorker(multi_store, worker_id="w1", ttl=60)
+        claimed = []
+        while True:
+            task = worker._next_task()
+            if task is None:
+                break
+            claimed.append(task.task_id)
+            shard = multi_store.append_record("w1", fake_record(task))
+            multi_store.complete(task, "w1", shard)
+        assert sorted(claimed) == multi_store.task_ids()
+        configs = [task_config(t) for t in claimed]
+        # Never returns to an earlier configuration: contiguous chunks.
+        seen, order = set(), []
+        for config in configs:
+            if config not in seen:
+                seen.add(config)
+                order.append(config)
+        assert len(order) == 2
+        assert configs == sorted(configs, key=order.index)
+
+    def test_second_worker_avoids_foreign_active_configuration(self, multi_store):
+        first = QueueWorker(multi_store, worker_id="w1", ttl=60)
+        task_a = first._next_task()  # leases the first task of group 1
+        second = QueueWorker(multi_store, worker_id="w2", ttl=60)
+        task_b = second._next_task()
+        assert task_a is not None and task_b is not None
+        assert task_config(task_b.task_id) != task_config(task_a.task_id)
+
+    def test_tail_stealing_when_every_group_is_foreign_active(self, tmp_path):
+        # One configuration left, another worker active in it: an
+        # affine worker must steal rather than idle.
+        store = QueueStore.submit(queue_spec(), tmp_path / "queue")
+        first = QueueWorker(store, worker_id="w1", ttl=60)
+        assert first._next_task() is not None  # w1 active in the only group
+        second = QueueWorker(store, worker_id="w2", ttl=60)
+        stolen = second._next_task()
+        assert stolen is not None  # stole from the foreign-active group
+
+    def test_non_affine_mode_claims_in_scan_order(self, multi_store):
+        worker = QueueWorker(multi_store, worker_id="w1", ttl=60, affine=False)
+        task = worker._next_task()
+        assert task.task_id == multi_store.task_ids()[0]
+
+    def test_affine_and_scan_order_collects_are_byte_identical(self, tmp_path):
+        spec = multi_config_spec()
+        serial = execute_campaign(spec, workers=0)
+        paths = {}
+        for mode, affine in (("affine", True), ("scan", False)):
+            queue_dir = tmp_path / f"queue-{mode}"
+            QueueStore.submit(spec, queue_dir)
+            run_worker(queue_dir, worker_id="w1", affine=affine)
+            paths[mode] = collect(queue_dir).to_json(tmp_path / f"{mode}.json")
+        expected = serial.to_json(tmp_path / "serial.json").read_bytes()
+        assert paths["affine"].read_bytes() == expected
+        assert paths["scan"].read_bytes() == expected
+
+
+class TestScanReuse:
+    def test_progress_scans_are_pinned_to_chunk_boundaries(self, multi_store):
+        # The progress/ETA snapshot must reuse the chunk claim's
+        # directory scan: one scan per chunk selection (2 groups + the
+        # final nothing-left probe), never one per task.
+        scans = 0
+        real_status = multi_store.status
+
+        def counting_status(*args, **kwargs):
+            nonlocal scans
+            scans += 1
+            return real_status(*args, **kwargs)
+
+        multi_store.status = counting_status
+        seen = []
+        worker = QueueWorker(
+            multi_store, worker_id="w1", status_interval=3600.0,
+            progress=lambda summary, status, record: seen.append(status.done),
+        )
+
+        import repro.campaign.executor as executor_module
+        real_run_one = executor_module.run_one
+        try:
+            executor_module.run_one = lambda run: fake_record(
+                multi_store.load_task(
+                    next(
+                        t for t in multi_store.task_ids()
+                        if multi_store.load_task(t).run_id == run.run_id
+                    )
+                )
+            )
+            worker.run()
+        finally:
+            executor_module.run_one = real_run_one
+        n_groups = len(multi_store.config_groups())
+        assert scans == n_groups + 1
+        assert seen == list(range(1, multi_store.n_tasks + 1))
+
+
+class TestCompaction:
+    def test_worker_compacts_and_collect_streams_segments(self, spec, tmp_path):
+        serial = execute_campaign(spec, workers=0)
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1", compact_every=2)
+        segments = store.segment_paths()
+        assert len(segments) == store.n_tasks // 2
+        # The shard holds only the residual tail (< compact_every).
+        residual = store.shard_path("w1").read_text().splitlines()
+        assert len(residual) < 2
+        merged = collect(queue_dir)
+        a = serial.to_json(tmp_path / "serial.json")
+        b = merged.to_json(tmp_path / "queued.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_segment_layout_round_trips(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "queue")
+        tasks = list(store.iter_tasks())
+        records = {}
+        for task in tasks:
+            store.append_record("w1", fake_record(task))
+            records[task.run_id] = fake_record(task)
+        path = store.compact_shard("w1")
+        footer = read_segment_footer(path)
+        assert footer["count"] == len(tasks)
+        assert footer["worker_id"] == "w1"
+        loaded = list(iter_segment_records(path))
+        assert [r.run_id for r in loaded] == sorted(records)  # sorted by run id
+        assert all(records[r.run_id] == r for r in loaded)
+        assert store.shard_path("w1").stat().st_size == 0  # truncated
+
+    def test_empty_shard_compacts_to_nothing(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "queue")
+        assert store.compact_shard("w1") is None
+        store.shard_path("w1").write_bytes(b'{"torn": "frag')  # only a torn tail
+        assert store.compact_shard("w1") is None
+
+    def test_crash_between_segment_publish_and_truncate_is_deduped(
+        self, spec, tmp_path
+    ):
+        # The mid-compaction crash window: the segment is published but
+        # the shard survives untruncated -> every record exists twice.
+        serial = execute_campaign(spec, workers=0)
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        run_worker(queue_dir, worker_id="w1")
+        shard_bytes = store.shard_path("w1").read_bytes()
+        store.compact_shard("w1")
+        store.shard_path("w1").write_bytes(shard_bytes)  # "crash" undid truncate
+        merged = collect(queue_dir)
+        a = serial.to_json(tmp_path / "serial.json")
+        b = merged.to_json(tmp_path / "merged.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_corrupt_segment_trailer_is_rejected(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "queue")
+        task = next(store.iter_tasks())
+        store.append_record("w1", fake_record(task))
+        path = store.compact_shard("w1")
+        path.write_bytes(path.read_bytes()[:-2])  # clip the magic
+        with pytest.raises(ConfigurationError, match="segment trailer"):
+            list(iter_segment_records(path))
+
+    def test_conflicting_duplicate_across_segment_and_shard_rejected(
+        self, spec, tmp_path
+    ):
+        store = QueueStore.submit(spec, tmp_path / "queue")
+        task = next(store.iter_tasks())
+        store.append_record("w1", fake_record(task))
+        store.compact_shard("w1")
+        import dataclasses
+
+        mutated = dataclasses.replace(fake_record(task), iterations=99)
+        store.append_record("w2", mutated)
+        with pytest.raises(ConfigurationError, match="conflicting duplicate"):
+            collect(tmp_path / "queue", allow_partial=True)
+
+
+class TestRetryLedger:
+    def test_record_failure_requeues_until_the_bound(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "queue", max_attempts=3)
+        task = store.claim("w1", ttl=60)
+        assert store.record_failure(task, "w1", "boom #1") is None
+        assert store.read_lease(task.task_id) is None  # released, claimable
+        assert not store.is_terminal(task.task_id)
+        task2 = store.try_claim_task(task.task_id, "w2", ttl=60)
+        assert task2 is not None
+        assert store.record_failure(task2, "w2", "boom #2") is None
+        task3 = store.try_claim_task(task.task_id, "w3", ttl=60)
+        outcome = store.record_failure(task3, "w3", "boom #3")
+        assert outcome is not None and outcome.status == "failed"
+        assert outcome.attempts == 3
+        assert [e["worker_id"] for e in outcome.failure_log] == ["w1", "w2", "w3"]
+        assert store.is_terminal(task.task_id)
+        # Dead tasks are never claimable again.
+        assert store.try_claim_task(task.task_id, "w4", ttl=60) is None
+
+    def test_interrupted_dead_letter_is_finalised_on_claim(self, spec, tmp_path):
+        # A worker can die between the final ledger write and the
+        # dead-letter marker; the next claimer must finalise the
+        # dead-letter instead of burning an extra attempt.
+        from repro.queue.store import _atomic_write_json
+
+        store = QueueStore.submit(spec, tmp_path / "queue", max_attempts=2)
+        task = store.claim("w1", ttl=60)
+        store.release(task.task_id, "w1")
+        attempts = [
+            {"attempt": 1, "worker_id": "w1", "error": "boom #1", "at": 0.0},
+            {"attempt": 2, "worker_id": "w2", "error": "boom #2", "at": 0.0},
+        ]
+        _atomic_write_json(
+            store.retries_path(task.task_id),
+            {"task_id": task.task_id, "run_id": task.run_id, "attempts": attempts},
+        )
+        assert store.try_claim_task(task.task_id, "w3", ttl=60) is None
+        outcome = store.read_outcome(task.task_id)
+        assert outcome is not None and outcome.status == "failed"
+        assert outcome.attempts == 2
+        assert "boom #2" in outcome.error
+
+    def test_max_attempts_one_dead_letters_immediately(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "queue", max_attempts=1)
+        task = store.claim("w1", ttl=60)
+        outcome = store.record_failure(task, "w1", "boom")
+        assert outcome is not None and outcome.attempts == 1
+
+    def test_submit_rejects_non_positive_max_attempts(self, spec, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            QueueStore.submit(spec, tmp_path / "queue", max_attempts=0)
+
+    def test_max_attempts_round_trips_through_spec_json(self, spec, tmp_path):
+        QueueStore.submit(spec, tmp_path / "queue", max_attempts=5)
+        assert QueueStore(tmp_path / "queue").max_attempts == 5
+
+
+class TestUnsafeLinkGate:
+    def test_declared_adversarial_filesystem_refuses_claims(
+        self, spec, tmp_path, monkeypatch
+    ):
+        store = QueueStore.submit(spec, tmp_path / "queue")
+        monkeypatch.setenv(UNSAFE_LINK_ENV, "1")
+        with pytest.raises(ConfigurationError, match="NFSv2"):
+            store.claim("w1", ttl=60)
+        monkeypatch.setenv(UNSAFE_LINK_ENV, "0")
+        assert store.claim("w1", ttl=60) is not None
+
+
+class TestStatusGoldenShape:
+    def test_status_json_shape_with_retry_counters(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+        import repro.campaign.executor as executor_module
+
+        spec = queue_spec()
+        queue_dir = tmp_path / "queue"
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+        assert main([
+            "campaign", "submit", "--queue", str(queue_dir),
+            "--spec", str(spec_file), "--max-attempts", "2",
+        ]) == 0
+        store = QueueStore(queue_dir)
+        assert store.max_attempts == 2
+        poisoned_run = store.load_task(store.task_ids()[0]).run_id
+        real_run_one = executor_module.run_one
+
+        def exploding(run):
+            if run.run_id == poisoned_run:
+                raise ZeroDivisionError("injected fault")
+            return real_run_one(run)
+
+        monkeypatch.setattr(executor_module, "run_one", exploding)
+        capsys.readouterr()
+        assert main([
+            "campaign", "worker", "--queue", str(queue_dir), "--id", "w1",
+            "--quiet",
+        ]) == 1  # dead-lettered task -> non-zero exit
+        capsys.readouterr()
+        assert main(["campaign", "status", "--queue", str(queue_dir), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        # The golden machine-readable shape (retry counters included).
+        assert sorted(payload) == [
+            "claimed", "done", "expired", "failed", "pending",
+            "retried", "total", "workers",
+        ]
+        assert payload["failed"] == 1      # dead-lettered
+        assert payload["retried"] == 1     # the ledger saw the task
+        assert payload["done"] == store.n_tasks - 1
+        assert payload["workers"] == {"w1": store.n_tasks - 1}
+
+    def test_partial_collect_round_trips_through_merge(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.campaign import CampaignResult
+        from repro.cli import main
+        import repro.campaign.executor as executor_module
+
+        spec = queue_spec()
+        serial = execute_campaign(spec, workers=0)
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir, max_attempts=2)
+        poisoned_run = store.load_task(store.task_ids()[1]).run_id
+        real_run_one = executor_module.run_one
+
+        def exploding(run):
+            if run.run_id == poisoned_run:
+                raise ZeroDivisionError("injected fault")
+            return real_run_one(run)
+
+        monkeypatch.setattr(executor_module, "run_one", exploding)
+        run_worker(queue_dir, worker_id="w1")
+        out = tmp_path / "partial.json"
+        assert main([
+            "campaign", "collect", "--queue", str(queue_dir),
+            "--out", str(out), "--allow-partial", "--quiet",
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "DEAD-LETTERED after 2 attempt(s)" in stdout
+        assert poisoned_run in stdout
+
+        partial = CampaignResult.from_json(out)
+        assert len(partial.records) == store.n_tasks - 1
+        assert all(r.run_id != poisoned_run for r in partial.records)
+        # Round-trip: merging the partial records with a serial run of
+        # the same spec reproduces the full result byte-for-byte (the
+        # overlap deduplicates by verified equality).
+        merged = CampaignResult.merge(
+            spec=spec.to_dict(), parts=[partial.records, serial.records]
+        )
+        a = serial.to_json(tmp_path / "serial.json")
+        b = merged.to_json(tmp_path / "merged.json")
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestRunSpecConfigKey:
+    def test_config_key_is_the_session_defining_prefix(self):
+        runs = expand_spec(multi_config_spec())
+        for run in runs:
+            assert run.seed_key.startswith(run.config_key + ":")
+            assert run.config_key == (
+                f"{run.problem}:{run.scale}:n{run.n_nodes}:{run.preconditioner}"
+            )
+        assert len({run.config_key for run in runs}) == 2

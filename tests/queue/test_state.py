@@ -87,11 +87,19 @@ class TestQueueStatus:
     def test_round_trip_and_counters(self):
         status = QueueStatus(
             total=10, pending=3, claimed=2, expired=1, done=3, failed=1,
-            workers={"w1": 2, "w2": 1},
+            retried=2, workers={"w1": 2, "w2": 1},
         )
         assert QueueStatus.from_dict(status.to_dict()) == status
         assert status.remaining == 6
         assert not status.drained
+
+    def test_pre_retry_status_payload_loads(self):
+        # Status JSON stored before the retry counters existed.
+        status = QueueStatus.from_dict({
+            "total": 4, "pending": 1, "claimed": 1, "expired": 0,
+            "done": 2, "failed": 0,
+        })
+        assert status.retried == 0
 
     def test_drained(self):
         status = QueueStatus(
@@ -100,10 +108,12 @@ class TestQueueStatus:
         assert status.drained
         assert "4/4 done" in status.render()
 
-    def test_render_flags_failures_and_expiry(self):
+    def test_render_flags_failures_retries_and_expiry(self):
         status = QueueStatus(
-            total=4, pending=0, claimed=1, expired=1, done=1, failed=1
+            total=4, pending=0, claimed=1, expired=1, done=1, failed=1,
+            retried=2,
         )
         text = status.render()
-        assert "1 FAILED" in text
+        assert "1 DEAD-LETTERED" in text
+        assert "2 retried" in text
         assert "expired" in text

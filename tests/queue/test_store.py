@@ -177,7 +177,7 @@ class TestStatus:
         total = store.n_tasks
         assert store.status().to_dict() == {
             "total": total, "pending": total, "claimed": 0, "expired": 0,
-            "done": 0, "failed": 0, "workers": {},
+            "done": 0, "failed": 0, "retried": 0, "workers": {},
         }
         task = store.claim("w1", ttl=60)
         assert store.status().claimed == 1

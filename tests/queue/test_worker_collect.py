@@ -99,12 +99,12 @@ class TestWorkerLoop:
         with pytest.raises(ConfigurationError, match="invalid worker id"):
             store.claim("../evil", ttl=60)
 
-    def test_failed_task_is_marked_and_surfaced(self, tmp_path, monkeypatch):
+    def test_failed_task_is_retried_then_dead_lettered(self, tmp_path, monkeypatch):
         import repro.campaign.executor as executor_module
 
         spec = queue_spec()
         queue_dir = tmp_path / "queue"
-        store = QueueStore.submit(spec, queue_dir)
+        store = QueueStore.submit(spec, queue_dir)  # default max_attempts = 3
         poisoned = store.task_ids()[1]
         real_run_one = executor_module.run_one
 
@@ -115,16 +115,58 @@ class TestWorkerLoop:
 
         monkeypatch.setattr(executor_module, "run_one", exploding)
         summary = run_worker(queue_dir, worker_id="w1")
+        # Deterministic failure: retried up to the bound, then dead.
         assert summary.failed == 1
+        assert summary.retried == store.max_attempts - 1
         assert summary.done == store.n_tasks - 1
         outcome = store.read_outcome(poisoned)
         assert outcome.status == "failed"
+        assert outcome.attempts == store.max_attempts
+        assert len(outcome.failure_log) == store.max_attempts
+        assert all("ZeroDivisionError" in e["error"] for e in outcome.failure_log)
         assert "ZeroDivisionError" in outcome.error
+        # The ledger and the status counters agree.
+        assert len(store.read_retries(poisoned)) == store.max_attempts
+        status = store.status()
+        assert status.retried == 1 and status.failed == 1
 
-        with pytest.raises(ConfigurationError, match="failed task"):
+        with pytest.raises(ConfigurationError, match="dead-lettered task"):
             collect(queue_dir)
         partial = collect(queue_dir, allow_partial=True)
         assert len(partial.records) == store.n_tasks - 1
+
+    def test_transient_failure_recovers_with_provenance(
+        self, tmp_path, monkeypatch
+    ):
+        # A task that fails once and then succeeds must be retried
+        # transparently: the sweep completes, the collect is full, and
+        # the done marker carries the failure provenance.
+        import repro.campaign.executor as executor_module
+
+        spec = queue_spec()
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir)
+        flaky = store.task_ids()[0]
+        real_run_one = executor_module.run_one
+
+        def flaky_once(run):
+            if (
+                run.run_id == store.load_task(flaky).run_id
+                and not store.read_retries(flaky)
+            ):
+                raise OSError("transient fault")
+            return real_run_one(run)
+
+        monkeypatch.setattr(executor_module, "run_one", flaky_once)
+        summary = run_worker(queue_dir, worker_id="w1")
+        assert summary.done == store.n_tasks
+        assert summary.retried == 1 and summary.failed == 0
+        outcome = store.read_outcome(flaky)
+        assert outcome.status == "done"
+        assert outcome.attempts == 2
+        assert "transient fault" in outcome.failure_log[0]["error"]
+        assert store.status().retried == 1
+        assert len(collect(queue_dir).records) == store.n_tasks
 
 
 class TestTornShardRepair:
@@ -176,7 +218,10 @@ class TestProgressStatusThrottle:
             progress=lambda summary, status, record: seen.append(status.done),
         )
         worker.run()
-        assert scans == 1  # one scan; later lines advance the cache
+        # One scan per chunk boundary (the initial chunk selection plus
+        # the final is-anything-left selection), never one per task;
+        # later progress lines advance the cache.
+        assert scans == 2
         # ...and the advanced cache still counts this worker honestly.
         assert seen == list(range(1, store.n_tasks + 1))
 
