@@ -31,6 +31,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro = repro.cli:main",
+            "repro-serve = repro.serve.http:main",
         ],
     },
     classifiers=[

@@ -222,6 +222,28 @@ class SolverSession:
             self.setup_events["matrix"] += 1
         return self._dist_matrix
 
+    @property
+    def problem_digest(self) -> str:
+        """Stable sha256 of the bound problem (matrix + rhs *content*).
+
+        Identifies what this session actually solves — two sessions
+        built from the same generator parameters digest identically,
+        a perturbed matrix does not.  Shared by the reference-spool
+        fingerprint and the serve layer's hash-stamped responses.
+        """
+        if self._problem_digest is None:
+            import scipy.sparse as sp
+
+            csr = sp.csr_matrix(self.matrix_csr)
+            h = hashlib.sha256()
+            h.update(str(csr.shape).encode())
+            h.update(csr.indptr.tobytes())
+            h.update(csr.indices.tobytes())
+            h.update(csr.data.tobytes())
+            h.update(self.b.tobytes())
+            self._problem_digest = h.hexdigest()
+        return self._problem_digest
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = self.meta.name if self.meta is not None else f"n={self.n}"
         return (
@@ -351,17 +373,6 @@ class SolverSession:
         is deliberately *not* part of the key — looped and vectorized
         workers share entries.
         """
-        if self._problem_digest is None:
-            import scipy.sparse as sp
-
-            csr = sp.csr_matrix(self.matrix_csr)
-            h = hashlib.sha256()
-            h.update(str(csr.shape).encode())
-            h.update(csr.indptr.tobytes())
-            h.update(csr.indices.tobytes())
-            h.update(csr.data.tobytes())
-            h.update(self.b.tobytes())
-            self._problem_digest = h.hexdigest()
         cost_model = self._cost_model if self._cost_model is not None else CostModel()
         topology = self._topology
         # Type plus every instance attribute (n_nodes, radix, ... — all
@@ -372,7 +383,7 @@ class SolverSession:
             else "default"
         )
         h = hashlib.sha256()
-        h.update(self._problem_digest.encode())
+        h.update(self.problem_digest.encode())
         parts = (
             self._n_nodes,
             dataclasses.astuple(cost_model),

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
@@ -175,6 +176,11 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument("--max-attempts", type=int, default=None, metavar="N",
                             help="retry policy: dead-letter a task after N "
                             "failed (exception-raising) attempts (default: 3)")
+    submit_cmd.add_argument("--retry-backoff", type=float, default=None,
+                            metavar="SECONDS",
+                            help="base of the jittered exponential backoff a "
+                            "failed task sits out before it is claimable "
+                            "again (default: 0.05)")
 
     worker_cmd = campaign_sub.add_parser(
         "worker",
@@ -204,6 +210,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="fold the spool shard into a compacted "
                             "segment every N completed records "
                             "(default: 256; 0 disables compaction)")
+
+    retry_cmd = campaign_sub.add_parser(
+        "retry",
+        help="resurrect a queue's dead-lettered tasks after a fix",
+        description="Clear every failed/ marker and retry ledger so the "
+        "tasks are claimable again with a fresh attempt budget; the full "
+        "failure provenance is preserved as audit manifests under "
+        "retried-manifests/ first. Run workers again afterwards.",
+    )
+    retry_cmd.add_argument("--queue", required=True, metavar="DIR")
 
     status_cmd = campaign_sub.add_parser(
         "status", help="summarise a queue's task/lease/spool state"
@@ -242,6 +258,32 @@ def _build_parser() -> argparse.ArgumentParser:
                            "per-channel communication-volume deltas")
     report_cmd.add_argument("--csv", default=None, metavar="FILE",
                            help="additionally export the raw records to CSV")
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the pooled HTTP solver service (see repro.serve)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765,
+                           help="listen port (0 = ephemeral)")
+    serve_cmd.add_argument("--pool-size", type=int, default=None, metavar="N",
+                           help="max concurrently cached solver sessions")
+    serve_cmd.add_argument("--max-batch", type=int, default=None, metavar="N",
+                           help="max requests drained into one solve_many batch")
+    serve_cmd.add_argument("--cache-dir", nargs="?", const=DEFAULT_CACHE_DIR,
+                           default=None, metavar="DIR",
+                           help="disk trajectory cache for warm session "
+                           "restarts (flag alone uses the default cache)")
+    serve_cmd.add_argument("--load", action="store_true",
+                           help="self-test: start the server, fire a "
+                           "concurrent load run against it, print the "
+                           "measurements and exit")
+    serve_cmd.add_argument("--requests", type=int, default=32, metavar="N",
+                           help="with --load: number of requests to fire")
+    serve_cmd.add_argument("--clients", type=int, default=4, metavar="N",
+                           help="with --load: concurrent client threads")
+    serve_cmd.add_argument("--quiet", action="store_true",
+                           help="suppress per-request HTTP logging")
 
     commands.add_parser("info", help="list problems/strategies/preconditioners")
     return parser
@@ -363,7 +405,11 @@ def _cmd_campaign_queue(args: argparse.Namespace) -> int:
     import os
 
     from .queue import QueueStore, collect, default_worker_id, run_worker
-    from .queue.store import DEFAULT_MAX_ATTEMPTS, DEFAULT_TTL
+    from .queue.store import (
+        DEFAULT_MAX_ATTEMPTS,
+        DEFAULT_RETRY_BACKOFF,
+        DEFAULT_TTL,
+    )
     from .queue.worker import DEFAULT_COMPACT_EVERY
 
     if args.campaign_command == "submit":
@@ -372,11 +418,32 @@ def _cmd_campaign_queue(args: argparse.Namespace) -> int:
             args.max_attempts if args.max_attempts is not None
             else DEFAULT_MAX_ATTEMPTS
         )
-        store = QueueStore.submit(spec, args.queue, max_attempts=max_attempts)
+        retry_backoff = (
+            args.retry_backoff if args.retry_backoff is not None
+            else DEFAULT_RETRY_BACKOFF
+        )
+        store = QueueStore.submit(
+            spec, args.queue,
+            max_attempts=max_attempts, retry_backoff=retry_backoff,
+        )
         print(f"campaign {spec.name!r}: {store.n_tasks} tasks submitted "
               f"to {store.queue_dir} (max {max_attempts} attempt(s)/task)")
         print("next: repro campaign worker --queue "
               f"{store.queue_dir}  (repeat per core / host)")
+        return 0
+
+    if args.campaign_command == "retry":
+        store = QueueStore(args.queue)
+        resurrected = store.retry_dead_letters()
+        if not resurrected:
+            print(f"queue {args.queue}: no dead-lettered tasks to retry")
+            return 0
+        for outcome in resurrected:
+            print(f"requeued {outcome.run_id} "
+                  f"(had {outcome.attempts} failed attempt(s))")
+        print(f"resurrected {len(resurrected)} task(s); provenance kept in "
+              f"{store.manifests_dir()}")
+        print(f"next: repro campaign worker --queue {store.queue_dir}")
         return 0
 
     if args.campaign_command == "worker":
@@ -443,7 +510,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign.executor import default_workers
     from .campaign.spec import expand_spec
 
-    if args.campaign_command in ("submit", "worker", "status", "collect"):
+    if args.campaign_command in ("submit", "worker", "retry", "status", "collect"):
         return _cmd_campaign_queue(args)
 
     if args.campaign_command == "report":
@@ -511,6 +578,57 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeRequest, SolverServer, run_load
+    from .serve.service import DEFAULT_MAX_BATCH, DEFAULT_POOL_SIZE
+
+    server = SolverServer(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size or DEFAULT_POOL_SIZE,
+        max_batch=args.max_batch or DEFAULT_MAX_BATCH,
+        cache_dir=args.cache_dir,
+        verbose=not args.quiet,
+    )
+    server.start()
+    host, port = server.address
+    pool = server.service.pool
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(pool={pool.capacity}, max_batch={server.service.max_batch})",
+          flush=True)
+    if args.load:
+        # Self-test: a config-skewed load run against our own endpoint,
+        # mirroring what benchmarks/bench_serve.py gates in CI.
+        payloads = [
+            ServeRequest(
+                request=SolveRequest(
+                    strategy="esrp" if i % 2 else "esr",
+                    T=10,
+                    preconditioner="jacobi" if i % 4 else "block_jacobi",
+                ),
+            ).to_dict()
+            for i in range(args.requests)
+        ]
+        report = run_load(server.url, payloads, clients=args.clients)
+        server.stop()
+        print(f"requests:      {report.ok} ok / {report.errors} failed "
+              f"({report.clients} clients)")
+        print(f"throughput:    {report.requests_per_second:.1f} req/s")
+        print(f"latency:       p50={report.p50_latency * 1e3:.1f} ms  "
+              f"p99={report.p99_latency * 1e3:.1f} ms")
+        print(f"pool hit rate: {report.pool.get('hit_rate', 0.0):.0%}")
+        print(f"digests:       "
+              f"{'consistent' if report.digests_consistent else 'INCONSISTENT'}")
+        return 0 if report.errors == 0 and report.digests_consistent else 1
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("draining ...", flush=True)
+        server.stop()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -522,6 +640,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "info":
             return _cmd_info(args)
     except ReproError as exc:

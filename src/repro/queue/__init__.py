@@ -33,6 +33,7 @@ One queue = one directory (layout version 2)::
       done/<task_id>.json      # terminal marker -> spool shard holding the
       failed/<task_id>.json    #   record / the dead-letter provenance
       retries/<task_id>.json   # failed-attempt ledger (retry lifecycle)
+      retried-manifests/<task_id>.<seq>.json  # dead-letter resurrection audit
       spool/<worker_id>.jsonl  # per-worker record shards (append-only)
       segments/<worker_id>-<seq>.seg  # compacted spool segments
 
@@ -44,8 +45,14 @@ Lease protocol
 * **Claim** — create ``leases/<task_id>.json`` with
   ``O_CREAT | O_EXCL``.  At most one creator can succeed, which is the
   whole mutual exclusion story; there is no lock server to die.
-* **Heartbeat** — the holder rewrites its lease (atomic replace) with a
-  fresh ``heartbeat_at`` every ``ttl/4`` seconds while the solve runs.
+* **Heartbeat** — lease *content* is immutable after the claim: the
+  holder renews every ``ttl/4`` seconds by touching the lease file's
+  **mtime** (``os.utime`` on a descriptor whose ownership it just
+  verified), and readers take ``max(stored heartbeat_at, mtime)`` as
+  the effective heartbeat.  Because a renewal never creates or
+  rewrites the lease path, it cannot resurrect a lease that a
+  reclaimer renamed away mid-renewal — a post-touch same-inode check
+  reports such a lease lost instead.
 * **Expiry & reclaim** — a lease whose last heartbeat is older than
   ``ttl`` is dead.  Any worker may reclaim it by *renaming* the lease
   file to a unique tombstone under ``reclaimed/`` — rename is atomic,
@@ -72,9 +79,11 @@ raises — are the retry policy's.  Submit records ``max_attempts``
 
 * a failed attempt is appended to the task's **retry ledger**
   (``retries/<task_id>.json``: attempt number, worker id, error,
-  timestamp — only the lease holder executes a task, so ledger writes
-  are single-writer), the lease is released, and the task goes
-  straight back to claimable;
+  timestamp, and the ``retry_after`` instant a small jittered
+  exponential backoff expires — only the lease holder executes a
+  task, so ledger writes are single-writer), the lease is released,
+  and the task requeues; claims refuse it until ``retry_after``
+  passes, so a deterministic failure doesn't spin hot;
 * the ``max_attempts``-th failure **dead-letters** the task: a
   permanent ``failed/`` marker is written whose
   :class:`~repro.queue.state.TaskOutcome` carries the attempt count
@@ -84,7 +93,12 @@ raises — are the retry policy's.  Submit records ``max_attempts``
 * a task that eventually *succeeds* keeps its provenance: the ``done``
   marker's ``attempts``/``failure_log`` show the failed attempts that
   preceded it.  The spooled record itself is unchanged — collects stay
-  byte-identical to a serial run.
+  byte-identical to a serial run;
+* after fixing the underlying bug, ``repro campaign retry --queue DIR``
+  (:meth:`~repro.queue.store.QueueStore.retry_dead_letters`) resurrects
+  dead-letters: each marker + ledger is preserved as an audit manifest
+  under ``retried-manifests/`` before the marker is unlinked, making
+  the task claimable again with a fresh attempt budget.
 
 Configuration-affine chunk claiming
 -----------------------------------
@@ -160,6 +174,7 @@ from .collect import collect, iter_queue_records, iter_segment_records, iter_sha
 from .state import Lease, QueueStatus, QueueTask, TaskOutcome
 from .store import (
     DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_RETRY_BACKOFF,
     DEFAULT_TTL,
     UNSAFE_LINK_ENV,
     QueueScan,
@@ -179,6 +194,7 @@ from .worker import (
 __all__ = [
     "DEFAULT_COMPACT_EVERY",
     "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_RETRY_BACKOFF",
     "DEFAULT_TTL",
     "Lease",
     "QueueScan",

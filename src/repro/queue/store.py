@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import pathlib
+import random
 import re
 import struct
+import threading
 import time
 from typing import Any, Iterator, Mapping
 
@@ -40,6 +43,14 @@ DEFAULT_TTL = 60.0
 #: don't count) is dead-lettered with a permanent ``failed/`` marker.
 DEFAULT_MAX_ATTEMPTS = 3
 
+#: Default base (seconds) of the jittered exponential retry backoff:
+#: after its n-th failed attempt a task stays unclaimable for
+#: ``backoff * 2**(n-1) * uniform(1, 2)`` seconds.  Deliberately small
+#: — solver failures are more often deterministic than transient — but
+#: every attempt's ledger entry records the resulting ``retry_after``
+#: timestamp, so operators can read exactly when a task requeued.
+DEFAULT_RETRY_BACKOFF = 0.05
+
 #: Setting this environment variable to a non-empty value other than
 #: ``"0"`` declares the queue's filesystem unable to provide atomic
 #: ``O_EXCL``-equivalent ``os.link`` semantics (classic NFSv2).  Claims
@@ -50,12 +61,26 @@ UNSAFE_LINK_ENV = "REPRO_QUEUE_LINK_UNSAFE"
 SEGMENT_MAGIC = b"RQS1"
 
 _SUBDIRS = ("tasks", "leases", "reclaimed", "done", "failed", "retries",
-            "spool", "segments")
+            "retried-manifests", "spool", "segments")
+
+#: Process-global nonce for :func:`_atomic_write_json` temp names.
+_TMP_COUNTER = itertools.count()
 
 
 def _atomic_write_json(path: pathlib.Path, payload: Mapping[str, Any]) -> None:
-    """Write JSON so that readers see the old file or the new, never half."""
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    """Write JSON so that readers see the old file or the new, never half.
+
+    The temp name carries the pid, the thread id *and* a process-global
+    nonce: concurrent writers — other processes, or threads within one
+    process (a heartbeat thread next to its worker's main loop) — can
+    never collide on the same temp file, so no writer can replace the
+    target with another writer's half-written temp or unlink it from
+    under them.
+    """
+    tmp = path.with_name(
+        f".{path.name}.tmp.{os.getpid()}"
+        f".{threading.get_ident()}.{next(_TMP_COUNTER)}"
+    )
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, path)
 
@@ -153,6 +178,12 @@ class QueueStore:
     #: mid-compaction crash window for the chaos harness).
     _compact_pause = 0.0
 
+    #: Test hook: seconds to sleep inside :meth:`heartbeat` between the
+    #: ownership check and the renewal itself (widens the
+    #: heartbeat-vs-reclaim window for the chaos harness's
+    #: lease-resurrection schedule).
+    _heartbeat_pause = 0.0
+
     def __init__(self, queue_dir):
         self.queue_dir = pathlib.Path(queue_dir)
         self._spec_payload: dict[str, Any] | None = None
@@ -189,6 +220,10 @@ class QueueStore:
     def retries_path(self, task_id: str) -> pathlib.Path:
         return self._dir("retries") / f"{task_id}.json"
 
+    def manifests_dir(self) -> pathlib.Path:
+        """Audit trail of resurrected dead-letters (see :meth:`retry_dead_letters`)."""
+        return self._dir("retried-manifests")
+
     # ----------------------------------------------------------------- submit
 
     @classmethod
@@ -197,6 +232,7 @@ class QueueStore:
         spec: CampaignSpec,
         queue_dir,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     ) -> "QueueStore":
         """Materialise a campaign spec as an on-disk task store.
 
@@ -204,14 +240,20 @@ class QueueStore:
         a queue directory is append-only state shared with possibly
         live workers; start a fresh sweep in a fresh directory.
 
-        ``max_attempts`` is the queue-wide retry policy: how many times
-        a task may *fail* (raise) before it is dead-lettered.  It is
+        ``max_attempts`` and ``retry_backoff`` are the queue-wide retry
+        policy: how many times a task may *fail* (raise) before it is
+        dead-lettered, and the base of the jittered exponential backoff
+        a failed task sits out before it is claimable again.  Both are
         stored in ``spec.json`` so every worker — any host, any start
         time — applies the same bound.
         """
         if max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
             )
         store = cls(queue_dir)
         if store.spec_path.exists():
@@ -237,7 +279,10 @@ class QueueStore:
                 "version": LAYOUT_VERSION,
                 "spec": spec.to_dict(),
                 "n_tasks": len(runs),
-                "retry": {"max_attempts": max_attempts},
+                "retry": {
+                    "max_attempts": max_attempts,
+                    "backoff": retry_backoff,
+                },
             },
         )
         return store
@@ -278,6 +323,12 @@ class QueueStore:
         """The queue-wide retry bound recorded at submit time."""
         retry = self._payload().get("retry") or {}
         return int(retry.get("max_attempts", DEFAULT_MAX_ATTEMPTS))
+
+    @property
+    def retry_backoff(self) -> float:
+        """The queue-wide retry-backoff base recorded at submit time."""
+        retry = self._payload().get("retry") or {}
+        return float(retry.get("backoff", DEFAULT_RETRY_BACKOFF))
 
     # ------------------------------------------------------------------ tasks
 
@@ -336,8 +387,30 @@ class QueueStore:
     # ------------------------------------------------------------------ leases
 
     def read_lease(self, task_id: str) -> Lease | None:
-        payload = _read_json(self.lease_path(task_id))
-        return Lease.from_dict(payload) if payload is not None else None
+        """The task's current lease, or ``None`` if it is unclaimed.
+
+        A lease file's *content* is immutable after the claim; renewals
+        touch the file's **mtime** instead (see :meth:`heartbeat`).
+        The effective ``heartbeat_at`` is therefore the later of the
+        stored timestamp and the mtime, read from one file descriptor
+        so content and mtime always describe the same inode even while
+        a reclaim renames the file away.
+        """
+        path = self.lease_path(task_id)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+                mtime = os.fstat(handle.fileno()).st_mtime
+        except FileNotFoundError:
+            return None
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path} holds invalid queue JSON: {exc}"
+            ) from exc
+        lease = Lease.from_dict(payload)
+        return lease.renewed(mtime) if mtime > lease.heartbeat_at else lease
 
     def _try_claim(self, task_id: str, worker_id: str, ttl: float) -> Lease | None:
         """Atomically publish a fully-written lease; loser gets ``None``.
@@ -453,6 +526,12 @@ class QueueStore:
                 attempts=len(attempts), failure_log=tuple(attempts),
             )
             return None
+        if attempts and time.time() < float(attempts[-1].get("retry_after") or 0.0):
+            # Still inside the post-failure backoff window recorded by
+            # the last failed attempt: back off instead of re-running
+            # the task hot.
+            self.release(task_id, worker_id)
+            return None
         return self.load_task(task_id)
 
     def claim(self, worker_id: str, ttl: float = DEFAULT_TTL) -> QueueTask | None:
@@ -476,17 +555,54 @@ class QueueStore:
     def heartbeat(self, task_id: str, worker_id: str) -> bool:
         """Renew ``worker_id``'s lease; ``False`` means the lease was lost.
 
+        Renewal is atomic against reclaim.  Ownership is verified and
+        the renewal applied on one open file descriptor — the lease
+        *inode* — never by a path-addressed rewrite: the renewal is an
+        ``os.utime`` touch (the mtime is the authoritative heartbeat
+        timestamp, see :meth:`read_lease`), so a renewal can *never*
+        create a lease file or overwrite another worker's claim.  If a
+        reclaimer renamed the lease to a tombstone between our open
+        and the touch, the touch lands on the tombstone (harmless
+        audit-file freshening) and the final same-inode check reports
+        the lease lost instead of resurrecting it.
+
         A worker whose heartbeat returns ``False`` (its lease expired
         and was reclaimed — e.g. the process was stopped for longer
         than the TTL) must treat the task as no longer its own and
         must not write a terminal marker for it.
         """
-        lease = self.read_lease(task_id)
-        if lease is None or lease.worker_id != worker_id:
+        path = self.lease_path(task_id)
+        try:
+            handle = open(path, "rb")
+        except FileNotFoundError:
             return False
-        _atomic_write_json(
-            self.lease_path(task_id), lease.renewed(time.time()).to_dict()
-        )
+        with handle:
+            try:
+                payload = json.loads(handle.read())
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path} holds invalid queue JSON: {exc}"
+                ) from exc
+            if Lease.from_dict(payload).worker_id != worker_id:
+                return False
+            if self._heartbeat_pause:
+                time.sleep(self._heartbeat_pause)
+            if os.utime in os.supports_fd:
+                os.utime(handle.fileno())
+            else:  # pragma: no cover - non-futimens platforms
+                # Path-addressed touch: may freshen a reclaimer's new
+                # lease (harmless — it is fresh anyway); the inode
+                # check below still reports ours lost.
+                os.utime(path)
+            try:
+                published = os.stat(path)
+            except FileNotFoundError:
+                return False  # reclaimed (or released) mid-renewal
+            renewed = os.fstat(handle.fileno())
+            if (published.st_ino, published.st_dev) != (
+                renewed.st_ino, renewed.st_dev
+            ):
+                return False  # reclaimed + re-claimed mid-renewal
         return True
 
     def release(self, task_id: str, worker_id: str) -> None:
@@ -654,17 +770,26 @@ class QueueStore:
         Appends the failure to the task's retry ledger (only the lease
         holder executes a task, so ledger writes are single-writer and
         the atomic replace suffices).  While attempts remain, the lease
-        is released and the task goes straight back to claimable —
-        ``None`` is returned.  On the ``max_attempts``-th failure the
-        task is dead-lettered: a permanent ``failed/`` marker carrying
-        the full failure provenance is written and returned.
+        is released and the task requeues — ``None`` is returned — but
+        claims honour a small jittered exponential backoff first: the
+        entry records ``retry_after`` (``backoff * 2**(n-1) *
+        uniform(1, 2)`` seconds from now, base from the submit-time
+        policy) and :meth:`try_claim_task` refuses the task until that
+        timestamp passes.  On the ``max_attempts``-th failure the task
+        is dead-lettered: a permanent ``failed/`` marker carrying the
+        full failure provenance is written and returned.
         """
         attempts = self.read_retries(task.task_id)
+        now = time.time()
+        backoff = (
+            self.retry_backoff * (2 ** len(attempts)) * (1.0 + random.random())
+        )
         attempts.append({
             "attempt": len(attempts) + 1,
             "worker_id": worker_id,
             "error": error,
-            "at": time.time(),
+            "at": now,
+            "retry_after": now + backoff,
         })
         _atomic_write_json(
             self.retries_path(task.task_id),
@@ -748,6 +873,49 @@ class QueueStore:
                 found.append(TaskOutcome.from_dict(payload))
         return found
 
+    def retry_dead_letters(self, requeued_by: str = "retry") -> list[TaskOutcome]:
+        """Resurrect every dead-lettered task (``repro campaign retry``).
+
+        For each ``failed/`` marker, the full provenance — the outcome
+        and its retry ledger — is first preserved as a sequence-numbered
+        audit manifest under ``retried-manifests/`` (atomic write), then
+        the retry ledger is cleared, and finally the marker itself is
+        unlinked.  The marker unlink is the commit point: until it
+        happens the task is still terminal, so a crash mid-resurrection
+        leaves at worst a manifest for a task that is still
+        dead-lettered — re-running ``retry`` is always safe.  After the
+        unlink the task is claimable again with a fresh attempt budget.
+
+        Returns the outcomes that were resurrected (oldest marker
+        first).  Live queues are fine: workers ignore ``failed/``
+        markers except as terminal states, and a cleared ledger simply
+        reads as a clean task.
+        """
+        validate_worker_id(requeued_by)
+        resurrected: list[TaskOutcome] = []
+        for outcome in self.failed_outcomes():
+            existing = self.manifests_dir().glob(f"{outcome.task_id}.*.json")
+            seq = len(list(existing))
+            manifest = self.manifests_dir() / f"{outcome.task_id}.{seq:02d}.json"
+            _atomic_write_json(manifest, {
+                "task_id": outcome.task_id,
+                "run_id": outcome.run_id,
+                "requeued_by": requeued_by,
+                "requeued_at": time.time(),
+                "outcome": outcome.to_dict(),
+                "ledger": self.read_retries(outcome.task_id),
+            })
+            try:
+                os.unlink(self.retries_path(outcome.task_id))
+            except FileNotFoundError:
+                pass
+            try:
+                os.unlink(self.outcome_path(outcome.task_id, "failed"))
+            except FileNotFoundError:
+                continue  # a concurrent retry committed first
+            resurrected.append(outcome)
+        return resurrected
+
     # ----------------------------------------------------------------- status
 
     def scan(self) -> QueueScan:
@@ -822,6 +990,7 @@ class QueueStore:
 # Re-exported for callers that build task ids by hand (tests, tools).
 __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_RETRY_BACKOFF",
     "DEFAULT_TTL",
     "LAYOUT_VERSION",
     "QueueScan",

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import logging
 import os
 import secrets
 import socket
@@ -99,8 +100,15 @@ class WorkerSummary:
 
     @property
     def seconds_per_task(self) -> float | None:
-        finished = self.done + self.failed + self.retried
-        return self.busy_seconds / finished if finished else None
+        """Mean wall seconds per solve attempt this worker ran.
+
+        Abandoned attempts count in the denominator: their solves
+        accrued ``busy_seconds`` like any other, so excluding them
+        would overestimate per-task cost (and skew ETAs) after any
+        lease loss.
+        """
+        attempts = self.done + self.failed + self.retried + self.abandoned
+        return self.busy_seconds / attempts if attempts else None
 
 
 #: Progress callback: (summary, queue status, record-or-None for the
@@ -121,6 +129,7 @@ class _HeartbeatThread(threading.Thread):
         # internal ``_stop()`` method.)
         self._halt = threading.Event()
         self.lost = False
+        self._warned = False
 
     def run(self) -> None:
         while not self._halt.wait(self._every):
@@ -128,9 +137,17 @@ class _HeartbeatThread(threading.Thread):
                 if not self._store.heartbeat(self._task_id, self._worker_id):
                     self.lost = True
                     return
-            except OSError:
-                # A transient filesystem error must not kill the
-                # heartbeat; the next tick retries within the TTL.
+            except (OSError, ConfigurationError) as exc:
+                # Neither a transient filesystem error nor a transiently
+                # unreadable lease (a ConfigurationError from half-read
+                # JSON) may kill the heartbeat silently — the lease
+                # would expire mid-solve.  Log once, retry next tick.
+                if not self._warned:
+                    self._warned = True
+                    logging.getLogger(__name__).warning(
+                        "heartbeat for %s hit %s: %s (retrying every %.1fs)",
+                        self._task_id, type(exc).__name__, exc, self._every,
+                    )
                 continue
 
     def stop(self) -> None:
@@ -188,13 +205,25 @@ class QueueWorker:
 
         ``wait=True`` keeps polling until every task is terminal (so a
         worker outlives peers whose in-flight leases may yet expire);
-        the default returns as soon as nothing is claimable.
-        ``max_tasks`` bounds this call (testing, time-sliced workers).
+        the default returns as soon as no task this worker could ever
+        claim remains — tasks leased by peers are theirs, but a task
+        that is *pending* yet unclaimable is only sitting out its
+        post-failure retry backoff, so the worker polls through that
+        instead of abandoning a non-drained queue.  ``max_tasks``
+        bounds this call (testing, time-sliced workers).
         """
         while max_tasks is None or self.summary.claimed < max_tasks:
             task = self._next_task()
             if task is None:
-                if not wait or self.store.status().drained:
+                # In affine mode a failed claim always just re-scanned
+                # (chunk selection), so the cached status is from this
+                # very iteration — no extra scan needed.
+                status = (
+                    self._status_cache
+                    if self.affine and self._status_cache is not None
+                    else self.store.status()
+                )
+                if status.drained if wait else status.pending == 0:
                     break
                 time.sleep(self.poll_interval)
                 continue

@@ -37,6 +37,7 @@ import random
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 from repro.campaign.results import CampaignResult
@@ -250,6 +251,81 @@ def run_schedule(
         restore_hooks(real)
 
     _assert_contract(tmp_path, store, spec, serial, plan)
+
+
+def legacy_heartbeat(store: QueueStore, task_id: str, worker_id: str) -> bool:
+    """The pre-fix renewal: read the lease, then *rewrite the path*.
+
+    Kept as the regression foil for the resurrection schedule below —
+    between its ownership check and its ``_atomic_write_json`` a
+    reclaimer can tombstone the lease and claim the task, after which
+    this replace recreates the stalled worker's lease over the
+    reclaimer's: the exact race :meth:`QueueStore.heartbeat` now
+    prevents.
+    """
+    from repro.queue.store import _atomic_write_json
+
+    lease = store.read_lease(task_id)
+    if lease is None or lease.worker_id != worker_id:
+        return False
+    if store._heartbeat_pause:
+        time.sleep(store._heartbeat_pause)
+    _atomic_write_json(
+        store.lease_path(task_id), lease.renewed(time.time()).to_dict()
+    )
+    return True
+
+
+def run_resurrection_schedule(tmp_path, spec: CampaignSpec, renew) -> dict:
+    """Deterministic heartbeat-vs-reclaim interleaving (the resurrection race).
+
+    A "stalled" worker claims a task with a tiny TTL and goes silent
+    past expiry.  Its renewal then runs with the store's
+    ``_heartbeat_pause`` test hook widening the window between the
+    renewal's ownership check and the renewal itself; mid-pause, a
+    reclaimer tombstones the expired lease and claims the task.  The
+    schedule reports what happened so callers can assert either
+    direction:
+
+    * ``renew=QueueStore.heartbeat`` (post-fix) — the renewal must
+      return ``False`` and the reclaimer's lease must survive;
+    * ``renew=legacy_heartbeat`` (pre-fix foil) — the renewal
+      resurrects the stalled worker's lease over the reclaimer's,
+      demonstrating the schedule really does reproduce the race.
+    """
+    queue_dir = tmp_path / "resurrection"
+    store = QueueStore.submit(spec, queue_dir, max_attempts=MAX_ATTEMPTS)
+    ttl = 0.2
+    task = store.claim("stalled", ttl=ttl)
+    assert task is not None
+    time.sleep(ttl * 1.5)  # the stalled worker sleeps past its TTL
+
+    outcome: dict = {}
+    QueueStore._heartbeat_pause = 0.5
+    try:
+        renewal = threading.Thread(
+            target=lambda: outcome.update(
+                renewed=renew(store, task.task_id, "stalled")
+            )
+        )
+        renewal.start()
+        # Let the renewal pass its ownership check and enter the pause,
+        # then reclaim + re-claim from a fresh handle (another process,
+        # as far as the store is concerned).
+        time.sleep(0.25)
+        claimed = QueueStore(queue_dir).try_claim_task(
+            task.task_id, "reclaimer", ttl=60
+        )
+        renewal.join(timeout=30)
+    finally:
+        QueueStore._heartbeat_pause = 0.0
+    final = store.read_lease(task.task_id)
+    return {
+        "renewed": outcome.get("renewed"),
+        "reclaimer_got_task": claimed is not None,
+        "final_holder": final.worker_id if final is not None else None,
+        "final_lease_live": final is not None and not final.expired(time.time()),
+    }
 
 
 def _assert_contract(tmp_path, store, spec, serial, plan: ChaosPlan) -> None:

@@ -16,8 +16,14 @@ The ``smoke`` subset is what CI's dedicated chaos step runs
 import pytest
 
 from repro.campaign import execute_campaign
+from repro.queue import QueueStore
 
-from .chaos import make_plan, run_schedule
+from .chaos import (
+    legacy_heartbeat,
+    make_plan,
+    run_resurrection_schedule,
+    run_schedule,
+)
 from .conftest import queue_spec
 
 pytestmark = [pytest.mark.campaign, pytest.mark.integration, pytest.mark.slow]
@@ -53,3 +59,32 @@ def test_chaos_schedule_smoke(seed, serial_result, tmp_path):
 @pytest.mark.parametrize("seed", FULL_SEEDS)
 def test_chaos_schedule(seed, serial_result, tmp_path):
     run_schedule(tmp_path, CHAOS_SPEC, serial_result, make_plan(seed, CHAOS_SPEC))
+
+
+@pytest.mark.smoke
+def test_heartbeat_cannot_resurrect_a_reclaimed_lease(tmp_path):
+    # The pause-widened heartbeat-vs-reclaim interleaving: the stalled
+    # worker's renewal lands strictly after a reclaimer tombstoned its
+    # expired lease and claimed the task.  The renewal must report the
+    # lease lost and leave the reclaimer's claim untouched.
+    def renew(store, task_id, worker_id):
+        return store.heartbeat(task_id, worker_id)
+
+    outcome = run_resurrection_schedule(tmp_path, CHAOS_SPEC, renew)
+    assert outcome["reclaimer_got_task"]
+    assert outcome["renewed"] is False
+    assert outcome["final_holder"] == "reclaimer"
+    assert outcome["final_lease_live"]
+
+
+@pytest.mark.smoke
+def test_resurrection_schedule_catches_the_legacy_heartbeat(tmp_path):
+    # The same schedule driven through the pre-fix read-then-replace
+    # renewal must reproduce the race: the stalled worker resurrects
+    # its lease over the reclaimer's.  This pins the schedule itself —
+    # if it stops being able to demonstrate the bug, it is no longer
+    # guarding the fix.
+    outcome = run_resurrection_schedule(tmp_path, CHAOS_SPEC, legacy_heartbeat)
+    assert outcome["reclaimer_got_task"]
+    assert outcome["renewed"] is True
+    assert outcome["final_holder"] == "stalled"

@@ -236,7 +236,11 @@ class TestCompaction:
 
 class TestRetryLedger:
     def test_record_failure_requeues_until_the_bound(self, spec, tmp_path):
-        store = QueueStore.submit(spec, tmp_path / "queue", max_attempts=3)
+        # retry_backoff=0 so the re-claims below need not sleep the
+        # backoff window out (it has its own tests).
+        store = QueueStore.submit(
+            spec, tmp_path / "queue", max_attempts=3, retry_backoff=0.0
+        )
         task = store.claim("w1", ttl=60)
         assert store.record_failure(task, "w1", "boom #1") is None
         assert store.read_lease(task.task_id) is None  # released, claimable
@@ -400,3 +404,244 @@ class TestRunSpecConfigKey:
                 f"{run.problem}:{run.scale}:n{run.n_nodes}:{run.preconditioner}"
             )
         assert len({run.config_key for run in runs}) == 2
+
+
+class TestRetryBackoff:
+    def test_failed_attempt_records_retry_after_and_blocks_claims(
+        self, spec, tmp_path
+    ):
+        import time
+
+        store = QueueStore.submit(
+            spec, tmp_path / "queue", max_attempts=3, retry_backoff=0.2
+        )
+        task = store.claim("w1", ttl=60)
+        before = time.time()
+        assert store.record_failure(task, "w1", "boom") is None
+        (entry,) = store.read_retries(task.task_id)
+        # Jittered exponential: base * 2**0 * uniform(1, 2).
+        assert before + 0.2 <= entry["retry_after"] <= time.time() + 0.4
+        # Inside the window the task is pending but not claimable...
+        assert store.try_claim_task(task.task_id, "w2", ttl=60) is None
+        assert store.read_lease(task.task_id) is None  # ...and released
+        # ...and claimable again once the window passes.
+        time.sleep(max(0.0, entry["retry_after"] - time.time()) + 0.01)
+        assert store.try_claim_task(task.task_id, "w2", ttl=60) is not None
+
+    def test_zero_backoff_requeues_immediately(self, spec, tmp_path):
+        store = QueueStore.submit(
+            spec, tmp_path / "queue", max_attempts=3, retry_backoff=0.0
+        )
+        task = store.claim("w1", ttl=60)
+        assert store.record_failure(task, "w1", "boom") is None
+        assert store.try_claim_task(task.task_id, "w2", ttl=60) is not None
+
+    def test_backoff_round_trips_through_spec_json(self, spec, tmp_path):
+        QueueStore.submit(spec, tmp_path / "queue", retry_backoff=0.75)
+        assert QueueStore(tmp_path / "queue").retry_backoff == 0.75
+
+    def test_submit_rejects_negative_backoff(self, spec, tmp_path):
+        with pytest.raises(ConfigurationError, match="retry_backoff"):
+            QueueStore.submit(spec, tmp_path / "queue", retry_backoff=-0.1)
+
+    def test_worker_polls_through_the_backoff_window(
+        self, spec, tmp_path, monkeypatch
+    ):
+        # A wait=False worker must not abandon a non-drained queue just
+        # because its only remaining task is sitting out a backoff.
+        import repro.campaign.executor as executor_module
+
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir, max_attempts=2)
+        flaky_run = store.load_task(store.task_ids()[0]).run_id
+        real_run_one = executor_module.run_one
+
+        def flaky(run):
+            if (
+                run.run_id == flaky_run
+                and not store.read_retries(store.task_ids()[0])
+            ):
+                raise ZeroDivisionError("transient fault")
+            return real_run_one(run)
+
+        monkeypatch.setattr(executor_module, "run_one", flaky)
+        summary = run_worker(queue_dir, worker_id="w1")
+        assert summary.retried == 1 and summary.failed == 0
+        assert summary.done == store.n_tasks
+        assert store.status().drained
+
+
+class TestRetryDeadLetters:
+    def test_resurrection_preserves_provenance_and_requeues(
+        self, spec, tmp_path
+    ):
+        store = QueueStore.submit(spec, tmp_path / "queue", max_attempts=1)
+        task = store.claim("w1", ttl=60)
+        assert store.record_failure(task, "w1", "boom") is not None
+        assert store.is_terminal(task.task_id)
+
+        resurrected = store.retry_dead_letters(requeued_by="operator")
+        assert [o.task_id for o in resurrected] == [task.task_id]
+        # Claimable again, with a fresh attempt budget.
+        assert not store.is_terminal(task.task_id)
+        assert store.read_retries(task.task_id) == []
+        assert store.try_claim_task(task.task_id, "w2", ttl=60) is not None
+        # Full provenance survives as an audit manifest.
+        manifest = json.loads(
+            (store.manifests_dir() / f"{task.task_id}.00.json").read_text()
+        )
+        assert manifest["requeued_by"] == "operator"
+        assert manifest["outcome"]["status"] == "failed"
+        assert manifest["outcome"]["error"] == "boom"
+        assert [e["error"] for e in manifest["ledger"]] == ["boom"]
+
+    def test_repeated_resurrections_get_sequenced_manifests(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "queue", max_attempts=1)
+        for round_no in range(2):
+            task = store.try_claim_task(store.task_ids()[0], "w1", ttl=60)
+            assert store.record_failure(task, "w1", f"boom #{round_no}") is not None
+            assert len(store.retry_dead_letters()) == 1
+        names = sorted(p.name for p in store.manifests_dir().glob("*.json"))
+        task_id = store.task_ids()[0]
+        assert names == [f"{task_id}.00.json", f"{task_id}.01.json"]
+
+    def test_no_dead_letters_is_a_no_op(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "queue")
+        assert store.retry_dead_letters() == []
+
+    def test_end_to_end_fix_retry_collect(self, tmp_path, monkeypatch):
+        # Dead-letter under a bug, "fix" it, resurrect, drain, collect:
+        # the final result must match the serial run exactly.
+        import repro.campaign.executor as executor_module
+
+        spec = queue_spec()
+        serial = execute_campaign(spec, workers=0)
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(queue_dir=queue_dir, spec=spec, max_attempts=1)
+        poisoned_run = store.load_task(store.task_ids()[0]).run_id
+        real_run_one = executor_module.run_one
+
+        def exploding(run):
+            if run.run_id == poisoned_run:
+                raise ZeroDivisionError("injected fault")
+            return real_run_one(run)
+
+        monkeypatch.setattr(executor_module, "run_one", exploding)
+        run_worker(queue_dir, worker_id="w1")
+        assert len(store.failed_outcomes()) == 1
+
+        monkeypatch.setattr(executor_module, "run_one", real_run_one)  # the fix
+        assert len(store.retry_dead_letters()) == 1
+        run_worker(queue_dir, worker_id="w1b")
+        assert store.status().drained and not store.failed_outcomes()
+        merged = collect(queue_dir)
+        a = serial.to_json(tmp_path / "serial.json").read_bytes()
+        b = merged.to_json(tmp_path / "merged.json").read_bytes()
+        assert a == b
+
+    def test_cli_campaign_retry(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+        import repro.campaign.executor as executor_module
+
+        spec = queue_spec()
+        queue_dir = tmp_path / "queue"
+        store = QueueStore.submit(spec, queue_dir, max_attempts=1)
+        poisoned_run = store.load_task(store.task_ids()[0]).run_id
+        real_run_one = executor_module.run_one
+
+        def exploding(run):
+            if run.run_id == poisoned_run:
+                raise ZeroDivisionError("injected fault")
+            return real_run_one(run)
+
+        monkeypatch.setattr(executor_module, "run_one", exploding)
+        main(["campaign", "worker", "--queue", str(queue_dir), "--quiet"])
+        capsys.readouterr()
+        assert main(["campaign", "retry", "--queue", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 task(s)" in out and poisoned_run in out
+        assert not store.failed_outcomes()
+        # Nothing to do the second time around.
+        assert main(["campaign", "retry", "--queue", str(queue_dir)]) == 0
+        assert "no dead-lettered tasks" in capsys.readouterr().out
+
+
+class TestAtomicWriteConcurrency:
+    def test_same_pid_threads_never_collide_on_temp_names(self, tmp_path):
+        # Pre-fix temp names were .{name}.tmp.{pid}: a heartbeat thread
+        # and its worker's main thread replacing the same target raced
+        # each other's temp file (FileNotFoundError from os.replace).
+        import threading
+
+        from repro.queue.store import _atomic_write_json
+
+        target = tmp_path / "shared.json"
+        errors = []
+
+        def hammer(thread_no):
+            try:
+                for i in range(200):
+                    _atomic_write_json(target, {"thread": thread_no, "i": i})
+            except OSError as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        payload = json.loads(target.read_text())
+        assert set(payload) == {"thread", "i"}  # some complete write won
+        assert list(tmp_path.glob(".*tmp*")) == []  # no temp litter
+
+
+class TestWorkerSummaryEta:
+    def test_abandoned_attempts_count_toward_seconds_per_task(self):
+        from repro.queue import WorkerSummary
+
+        summary = WorkerSummary(
+            worker_id="w1", done=2, abandoned=2, busy_seconds=8.0
+        )
+        assert summary.seconds_per_task == 2.0
+
+    def test_no_attempts_means_no_estimate(self):
+        from repro.queue import WorkerSummary
+
+        assert WorkerSummary(worker_id="w1").seconds_per_task is None
+
+
+class TestHeartbeatThreadRobustness:
+    def test_invalid_lease_json_does_not_kill_the_heartbeat(
+        self, spec, tmp_path, caplog
+    ):
+        # A transiently corrupt lease read surfaces as
+        # ConfigurationError; the heartbeat thread must log once,
+        # keep ticking, and resume renewing once the lease is
+        # readable again.
+        import logging
+        import time
+
+        from repro.queue.worker import _HeartbeatThread
+
+        store = QueueStore.submit(spec, tmp_path / "queue")
+        task = store.claim("w1", ttl=60)
+        lease_path = store.lease_path(task.task_id)
+        good = lease_path.read_text()
+        lease_path.write_text("{half a lease")
+
+        thread = _HeartbeatThread(store, task.task_id, "w1", every=0.02)
+        with caplog.at_level(logging.WARNING, logger="repro.queue.worker"):
+            thread.start()
+            time.sleep(0.2)
+            assert thread.is_alive() and not thread.lost
+            lease_path.write_text(good)
+            time.sleep(0.1)
+            thread.stop()
+        assert not thread.lost
+        warnings = [
+            r for r in caplog.records if "ConfigurationError" in r.getMessage()
+        ]
+        assert len(warnings) == 1  # logged once, not once per tick

@@ -1,0 +1,96 @@
+"""Unit tests for the bounded LRU session pool (no solver involved)."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve import SessionPool
+
+
+def factory(token):
+    return lambda: token
+
+
+class TestLruSemantics:
+    def test_hit_miss_and_counters(self):
+        pool = SessionPool(2)
+        a1, hit = pool.acquire("a", factory("A"))
+        assert hit is False
+        a2, hit = pool.acquire("a", factory("A'"))
+        assert hit is True
+        assert a2 is a1
+        assert (pool.hits, pool.misses, pool.evictions) == (1, 1, 0)
+        assert pool.hit_rate == 0.5
+
+    def test_eviction_removes_least_recently_used(self):
+        pool = SessionPool(2)
+        pool.acquire("a", factory("A"))
+        pool.acquire("b", factory("B"))
+        pool.acquire("a", factory("A"))  # refresh a; b is now LRU
+        pool.acquire("c", factory("C"))  # evicts b
+        assert pool.keys() == ["a", "c"]
+        assert pool.evictions == 1
+        _, hit = pool.acquire("b", factory("B2"))
+        assert hit is False  # b was really gone
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            SessionPool(0)
+
+
+class TestLazyBuild:
+    def test_factory_runs_once_under_the_slot_lock(self):
+        pool = SessionPool(1)
+        built = []
+
+        def build():
+            built.append(threading.get_ident())
+            return object()
+
+        pooled, _ = pool.acquire("k", build)
+        assert not pooled.built  # acquire never builds
+        sessions = []
+
+        def use():
+            with pooled.lock:
+                sessions.append(pooled.session)
+
+        threads = [threading.Thread(target=use) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(built) == 1  # exactly one thread paid for the build
+        assert len(set(map(id, sessions))) == 1
+
+    def test_evicted_slot_keeps_serving_its_holder(self):
+        # Eviction is map-removal: a thread still holding the evicted
+        # PooledSession finishes on its private reference.
+        pool = SessionPool(1)
+        old, _ = pool.acquire("old", factory("OLD"))
+        with old.lock:
+            session = old.session
+        pool.acquire("new", factory("NEW"))  # evicts "old"
+        assert pool.keys() == ["new"]
+        with old.lock:
+            assert old.session is session  # still usable, unchanged
+
+
+class TestConcurrentAcquire:
+    def test_parallel_acquires_agree_on_one_slot_per_key(self):
+        pool = SessionPool(4)
+        slots = []
+
+        def acquire():
+            pooled, _ = pool.acquire("shared", factory("S"))
+            slots.append(pooled)
+
+        threads = [threading.Thread(target=acquire) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(slot) for slot in slots}) == 1
+        assert pool.misses == 1
+        assert pool.hits == 15
