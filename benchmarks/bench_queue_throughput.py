@@ -21,9 +21,11 @@ Three cell families, all recorded into ``BENCH_queue.json``:
 The acceptance gate (``--check``) is host-aware:
 
 * scaling: on a multi-core host the 2-worker configuration must reach
-  >= 1.15x single-worker throughput; on a single-core host it must
-  stay within 2x (coordination overhead bounded, parallelism not
-  rewarded).
+  >= 1.15x single-worker throughput; on a single-core host the scaling
+  gate is **skipped with a loud note** (the measured number is pure
+  coordination contention) and only the overhead floor (within 2x) is
+  enforced.  Every recorded cell carries the recording host's
+  ``cpu_count`` so stored numbers can't be misread later.
 * affinity: the affine config spread is always bounded by
   ``n_configs + 2 * (workers - 1)`` (near-perfect chunking plus tail
   stealing) and never exceeds the scan-order spread; affine claiming
@@ -191,6 +193,10 @@ def bench_workers(spec: CampaignSpec, workers: int, scratch: pathlib.Path) -> di
         "tasks": store.n_tasks,
         "seconds": elapsed,
         "tasks_per_sec": store.n_tasks / elapsed,
+        # Provenance: scaling numbers are meaningless without knowing
+        # how many cores the recording host could actually run
+        # workers on (a single-core "0.65x" measures contention).
+        "cpu_count": os.cpu_count() or 1,
         "result_path": result_path,
     }
 
@@ -267,6 +273,7 @@ def run_affinity(repetitions: int, scratch: pathlib.Path, smoke: bool) -> dict:
                 "n_configs": n_configs,
                 "seconds": elapsed,
                 "tasks_per_sec": store.n_tasks / elapsed,
+                "cpu_count": os.cpu_count() or 1,
                 "config_spread": spread,
                 "result_identical": identical,
             }
@@ -334,6 +341,7 @@ def run_compaction(repetitions: int, scratch: pathlib.Path, compact_every: int) 
     row = {
         "tasks": store.n_tasks,
         "compact_every": compact_every,
+        "cpu_count": os.cpu_count() or 1,
         "segments": len(segments),
         "segment_bytes": sum(p.stat().st_size for p in segments),
         "shard_residual_records": shard_residual,
@@ -407,6 +415,19 @@ def check(payload: dict, smoke: bool) -> int:
     if not smoke:
         threshold = headline["threshold"]
         kind = "scaling" if headline["multi_core"] else "overhead floor"
+        if not headline["multi_core"]:
+            # Do not let a contention measurement masquerade as a
+            # scaling result: say out loud that the real gate is off.
+            banner = "=" * 72
+            print(banner)
+            print(
+                "NOTE: scaling gate skipped: single-core host — the "
+                f"recorded 2-worker number ({headline['scaling']}) "
+                "measures coordination contention, not parallel "
+                f"speedup; only the overhead floor ({SINGLE_CORE_FLOOR}x) "
+                "is enforced"
+            )
+            print(banner)
         if headline["scaling"] is None or headline["scaling"] < threshold:
             failures.append(
                 f"2-worker {kind} {headline['scaling']} < {threshold}x "

@@ -28,6 +28,11 @@ setup(
         "numpy>=1.21",
         "scipy>=1.7",
     ],
+    extras_require={
+        # JIT-compiled hot loops for the 'compiled' kernel backend;
+        # without it the backend degrades to hand-fused numpy.
+        "compiled": ["numba>=0.57"],
+    },
     entry_points={
         "console_scripts": [
             "repro = repro.cli:main",

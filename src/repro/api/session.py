@@ -80,7 +80,7 @@ class SolverSession:
         topology=None,
         seed: int | None = 0,
         cluster: VirtualCluster | None = None,
-        backend: str = "vectorized",
+        backend: str | None = None,
         cache_dir: "str | os.PathLike | bool | None" = None,
         meta=None,
     ):
@@ -102,7 +102,9 @@ class SolverSession:
         backend:
             Compute-kernel backend for this session's solves (any name
             in the :data:`~repro.api.registry.KERNELS` registry);
-            individual requests may override it via
+            ``None`` (default) picks the library default — the
+            ``REPRO_BACKEND`` environment variable if set, else
+            ``"vectorized"``.  Individual requests may override it via
             ``SolveRequest(backend=...)``.
         cache_dir:
             Spool computed reference trajectories to this directory so
@@ -123,6 +125,10 @@ class SolverSession:
         self._owns_cluster = cluster is None
         self._cluster = cluster
         self._n_nodes = int(cluster.n_nodes if cluster is not None else n_nodes)
+        if backend is None:
+            from ..kernels.base import default_backend
+
+            backend = default_backend()
         self._backend = KERNELS.resolve(backend)
         if cache_dir is True:
             cache_dir = DEFAULT_CACHE_DIR
@@ -160,7 +166,7 @@ class SolverSession:
         topology=None,
         seed: int | None = 0,
         problem_seed: int = 2020,
-        backend: str = "vectorized",
+        backend: str | None = None,
         cache_dir: "str | os.PathLike | bool | None" = None,
     ) -> "SolverSession":
         """Build a session for a registered named problem.

@@ -233,7 +233,7 @@ def _mtbf(
     width = ctx.clamp_width(width)
     if min_gap is None:
         min_gap = max(ctx.T, min_gap_floor, 2)
-    return poisson_schedule(
+    schedule = poisson_schedule(
         mtbf_iterations=mtbf_iterations,
         horizon=max(ctx.reference_iterations - 1, 1),
         width=width,
@@ -241,6 +241,9 @@ def _mtbf(
         seed=ctx.seed,
         min_gap=min_gap,
     )
+    # poisson_schedule may draw an arrival inside iteration 0; campaign
+    # events must fire strictly inside the solve (iteration >= 1).
+    return FailureSchedule([e for e in schedule if e.iteration >= 1])
 
 
 SCENARIO_KINDS: dict[str, Callable[..., FailureSchedule]] = {

@@ -253,3 +253,28 @@ class FlatPlanCache:
         self.local_flops = tuple(
             (rank, 2 * int(nnz)) for rank, nnz in enumerate(plan.local_nnz)
         )
+        self._fused_matrix: sp.csr_matrix | None = None
+
+    def fused_matrix(self) -> sp.csr_matrix:
+        """The ``(n, n)`` operator with the plan's per-row data order.
+
+        Remaps the stacked operator's ghost columns through
+        ``ghost_gather`` (each ghost column reads the entry its gather
+        would have copied), so ``fused_matrix @ x_flat`` needs neither
+        the ghost gather nor the stacked-input copy — halo assembly and
+        matvec collapse into one traversal.  Per-row data order (and
+        with it every row's summation order) is untouched, so the
+        product is bit-identical to the stacked one.  Built lazily: only
+        the ``compiled`` backend pays for the second index array.
+        """
+        if self._fused_matrix is None:
+            stacked = self.stacked_matrix
+            n = stacked.shape[0]
+            indices = stacked.indices.astype(np.int64, copy=True)
+            ghost = indices >= n
+            if ghost.any():
+                indices[ghost] = self.ghost_gather[indices[ghost] - n]
+            self._fused_matrix = sp.csr_matrix(
+                (stacked.data, indices, stacked.indptr), shape=(n, n)
+            )
+        return self._fused_matrix

@@ -4,28 +4,44 @@ Every solve executes the paper's distributed PCG through two separable
 concerns: the *numerics* (vector updates, SpMV data movement,
 preconditioner application) and the *accounting* (simulated per-node
 clocks, per-channel byte/message statistics, failure semantics).  This
-package separates them behind the :class:`KernelBackend` protocol:
+package separates them behind the :class:`KernelBackend` protocol.
 
-``looped``
-    The original per-rank reference semantics — every operation loops
-    over node blocks with charges incurred inside the loop, exactly as
-    a rank-per-process implementation behaves.  Kept for verification.
-``vectorized`` (the default)
-    Fused flat-array execution: each distributed vector is one
-    contiguous array with block views, the halo exchange is a single
-    precomputed gather, the block-row SpMV one stacked
-    ``scipy.sparse`` matvec, and per-rank billing is *declared
-    analytically* from the communication plan through the batched
-    :meth:`VirtualCluster.charge
-    <repro.cluster.communicator.VirtualCluster.charge>` API.
+Backend comparison
+------------------
 
-The backend contract (full statement in :mod:`repro.kernels.base`):
-**bit-identical results and identical cluster accounting** — same
+=============  ====================================  ==========================
+backend        semantics / fusion level              when to pick it
+=============  ====================================  ==========================
+``looped``     Per-rank reference loops; charges     Verification only: it is
+               incurred inside the numeric loop,     the baseline the property
+               exactly like a rank-per-process       suite pins the others
+               implementation.  No fusion.           against.  Deprecated for
+                                                     production use.
+``vectorized`` Fused flat-array numpy: whole-array   The safe default on any
+               elementwise ops, one precomputed      install — pure
+               ghost gather, one stacked CSR         numpy/scipy, uniformly
+               matvec, billing declared              faster than ``looped``.
+               analytically per operation.
+``compiled``   Fused *chains*: the PCG tail          Large problems (n >~ 32k)
+               (axpy+axpy, precondition, fused       where the ``vectorized``
+               dot pair, aypx) runs as one backend   speedup decays into
+               hook with single-pass sweeps          memory traffic.  JIT
+               (JIT-compiled via numba when the      needs the ``[compiled]``
+               ``repro[compiled]`` extra is          extra; without numba it
+               installed), and the SpMV multiplies   degrades gracefully
+               a ghost-free remapped operator with   (one warning, hand-fused
+               no per-iteration gather or input      numpy, bit-identical).
+               copy.
+=============  ====================================  ==========================
+
+All backends are **bit-identical** and **accounting-identical** by
+contract (full statement in :mod:`repro.kernels.base`): same
+floating-point results, same
 :class:`~repro.cluster.statistics.ClusterStats`, same simulated clocks,
 same cost-noise RNG consumption — across backends, for every strategy
 and failure scenario.  ``tests/properties/test_backend_equivalence.py``
-enforces it; ``benchmarks/bench_kernels.py`` measures the speedup
-(``BENCH_kernels.json``).
+enforces it; ``benchmarks/bench_kernels.py`` measures the speedups and
+gates their scaling behaviour (``BENCH_kernels.json``).
 
 Selection and registration
 --------------------------
@@ -42,30 +58,38 @@ built-ins are ordinary registrations and third-party backends join via
         ...
 
 The backend is a property of the virtual cluster
-(``VirtualCluster(n, kernels="looped")``, reassignable at any time);
+(``VirtualCluster(n, kernels="compiled")``, reassignable at any time);
 the service layer selects it per session
-(``SolverSession(..., backend="looped")``) or per request
-(``SolveRequest(backend="looped")``), and campaign specs sweep it
-(``CampaignSpec(backends=("looped", "vectorized"))``) so stored records
-can A/B backends.
+(``SolverSession(..., backend="compiled")``) or per request
+(``SolveRequest(backend="compiled")``), and campaign specs sweep it
+(``CampaignSpec(backends=("vectorized", "compiled"))``) so stored
+records can A/B backends.  Where no backend is named, the
+``REPRO_BACKEND`` environment variable overrides the library default
+(:func:`default_backend`).
 """
 
 from __future__ import annotations
 
 from .base import (
+    BACKEND_ENV,
     DEFAULT_BACKEND,
     KernelBackend,
     available_backends,
+    default_backend,
     resolve_backend,
 )
+from .compiled import CompiledBackend
 from .looped import LoopedBackend
 from .vectorized import VectorizedBackend
 
 __all__ = [
+    "BACKEND_ENV",
     "DEFAULT_BACKEND",
+    "CompiledBackend",
     "KernelBackend",
     "LoopedBackend",
     "VectorizedBackend",
     "available_backends",
+    "default_backend",
     "resolve_backend",
 ]

@@ -42,6 +42,7 @@ backends on a live session never recomputes a plan.
 from __future__ import annotations
 
 import abc
+import os
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -141,6 +142,48 @@ class KernelBackend(abc.ABC):
     ) -> None:
         """``out = P r`` for a node-aligned block-diagonal operator."""
 
+    # ------------------------------------------------------------ fused chains
+
+    def cg_update(
+        self,
+        x: "DistributedVector",
+        r: "DistributedVector",
+        z: "DistributedVector",
+        p: "DistributedVector",
+        rho: "DistributedVector",
+        alpha: float,
+        rz_old: float,
+        preconditioner,
+    ) -> tuple[float, float, float]:
+        """The PCG tail of one iteration, after ``alpha`` is known.
+
+        Performs, in reference order::
+
+            x += alpha * p
+            r -= alpha * rho
+            z  = P r
+            rz_new    = r . z      } one fused reduction
+            r_norm_sq = r . r      } (single allreduce)
+            beta = rz_new / rz_old
+            p = z + beta * p
+
+        and returns ``(rz_new, r_norm_sq, beta)``.  The default
+        composition below *is* the reference semantics — it issues the
+        exact historical operation sequence of the solver engine.
+        Backends may override it with fused single-pass kernels as long
+        as both sides of the contract hold: bit-identical numerics
+        (elementwise fusion free, reductions in reference block order)
+        and the identical charge sequence (axpy, axpy, preconditioner,
+        dot+allreduce, aypx).
+        """
+        x.axpy(alpha, p)
+        r.axpy(-alpha, rho)
+        preconditioner.apply(r, z)
+        rz_new, r_norm_sq = r.dot_many([z, r])
+        beta = rz_new / rz_old if rz_old != 0.0 else 0.0
+        p.aypx(beta, z)
+        return rz_new, r_norm_sq, beta
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -148,11 +191,26 @@ class KernelBackend(abc.ABC):
 #: The backend new clusters use unless told otherwise.
 DEFAULT_BACKEND = "vectorized"
 
+#: Environment variable overriding the library default backend by name
+#: (e.g. ``REPRO_BACKEND=compiled``); consulted wherever no backend is
+#: specified explicitly.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def default_backend() -> str:
+    """The backend name used when none is requested explicitly.
+
+    :data:`BACKEND_ENV` (``REPRO_BACKEND``) overrides the library
+    default, so a whole process — CLI runs, test suites, CI legs — can
+    be switched without touching call sites.
+    """
+    return os.environ.get(BACKEND_ENV, "").strip() or DEFAULT_BACKEND
+
 
 def resolve_backend(backend: "str | KernelBackend | None") -> KernelBackend:
     """Materialise a backend from a registered name (or pass one through)."""
     if backend is None:
-        backend = DEFAULT_BACKEND
+        backend = default_backend()
     if isinstance(backend, KernelBackend):
         return backend
     instance = KERNELS.create(backend)

@@ -61,6 +61,14 @@ class VectorizedBackend(KernelBackend):
 
     name = "vectorized"
 
+    #: Whether this backend materialises the ghost buffers during the
+    #: halo phases.  The stacked matvec reads ``[x_flat | ghost_flat]``,
+    #: so the fill is load-bearing here; the ``compiled`` subclass
+    #: multiplies a ghost-free remapped operator against ``x_flat``
+    #: directly and turns the fill off (the exchange is still charged —
+    #: the *bytes* still move on the virtual cluster).
+    _fills_ghosts = True
+
     # ------------------------------------------------------- vector arithmetic
 
     def axpy(self, y, a, x) -> None:
@@ -114,7 +122,7 @@ class VectorizedBackend(KernelBackend):
     def halo_exchange(self, executor, x, channel: str) -> None:
         cache = executor.plan.flat_cache()
         executor.cluster.exchange_compiled(executor.compiled_halo(channel))
-        if cache.total_ghosts:
+        if self._fills_ghosts and cache.total_ghosts:
             executor._ghost_flat[:] = x.data[cache.ghost_gather]
 
     def spmv_local(self, executor, x, out) -> None:
@@ -164,7 +172,7 @@ class VectorizedBackend(KernelBackend):
             compiled = cluster.compile_exchange(cache.messages, cache.merged)
             cache.compiled = compiled
         cluster.exchange_compiled(compiled)
-        if plan_cache.total_ghosts:
+        if self._fills_ghosts and plan_cache.total_ghosts:
             executor._ghost_flat[:] = x.data[plan_cache.ghost_gather]
 
         evicted = queue.push(iteration)

@@ -164,6 +164,10 @@ _POISSON3D_EDGES: dict[str, int] = {
     "medium": 20,
     "bench": 32,
     "large": 44,
+    # Kernel-bench cells probing the memory-bound regime where the
+    # vectorized backend's speedup decays (see BENCH_kernels.json).
+    "xlarge": 64,
+    "huge": 80,
 }
 
 

@@ -323,14 +323,22 @@ class PCGEngine:
                     "PCG (matrix not SPD along search direction)", j, relative, options.rtol
                 )
             alpha = state.rz / pap
-            state.x.axpy(alpha, state.p)
-            state.r.axpy(-alpha, state.rho)
-            self.preconditioner.apply(state.r, state.z)
-            rz_new, r_norm_sq = state.r.dot_many([state.z, state.r])
-            beta = rz_new / state.rz if state.rz != 0.0 else 0.0
+            # The whole post-alpha tail runs as one backend hook so a
+            # fused backend can execute it with single-pass kernels;
+            # the default composition is the exact historical sequence
+            # (axpy, axpy, precondition, fused dots, aypx).
+            rz_new, r_norm_sq, beta = self.cluster.kernels.cg_update(
+                state.x,
+                state.r,
+                state.z,
+                state.p,
+                state.rho,
+                alpha,
+                state.rz,
+                self.preconditioner,
+            )
             state.rz = rz_new
             state.beta = beta
-            state.p.aypx(beta, state.z)
 
             self.strategy.post_iteration(j, state)
 

@@ -2,10 +2,10 @@
 
 The backend contract (see :mod:`repro.kernels.base`) demands
 bit-identical numerics *and* identical accounting — clocks, per-channel
-statistics, cost-noise RNG consumption — between ``looped`` and
-``vectorized``.  These tests check each kernel in isolation; the
-end-to-end enforcement lives in
-``tests/properties/test_backend_equivalence.py``.
+statistics, cost-noise RNG consumption — across ``looped``,
+``vectorized`` and ``compiled``.  These tests check each kernel in
+isolation against the ``looped`` reference; the end-to-end enforcement
+lives in ``tests/properties/test_backend_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -29,6 +29,7 @@ from repro.distribution import (
 )
 from repro.kernels import (
     DEFAULT_BACKEND,
+    CompiledBackend,
     KernelBackend,
     LoopedBackend,
     VectorizedBackend,
@@ -51,6 +52,7 @@ NOISY = CostModel(alpha=1e-6, beta=1e-9, gamma=1e-9, mu=1e-11, noise=0.1)
 def test_builtin_backends_registered():
     assert "looped" in available_backends()
     assert "vectorized" in available_backends()
+    assert "compiled" in available_backends()
     assert DEFAULT_BACKEND == "vectorized"
 
 
@@ -58,6 +60,8 @@ def test_resolve_backend_names_aliases_and_instances():
     assert isinstance(resolve_backend("looped"), LoopedBackend)
     assert isinstance(resolve_backend("vectorized"), VectorizedBackend)
     assert isinstance(resolve_backend("fused"), VectorizedBackend)  # alias
+    assert isinstance(resolve_backend("compiled"), CompiledBackend)
+    assert isinstance(resolve_backend("jit"), CompiledBackend)  # alias
     assert isinstance(resolve_backend(None), VectorizedBackend)  # default
     instance = LoopedBackend()
     assert resolve_backend(instance) is instance
@@ -102,7 +106,8 @@ class TestLoopedDemotion:
         assert "looped" in source
 
 
-def test_cluster_default_backend_and_switching():
+def test_cluster_default_backend_and_switching(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
     cluster = VirtualCluster(4, cost_model=zero_cost_model())
     assert cluster.kernels.name == "vectorized"
     cluster.kernels = "looped"
@@ -181,13 +186,17 @@ def test_charge_validates_liveness():
 # ---------------------------------------------------------------------------
 
 
-def _pair(n_nodes=4, n=64, cost_model=None, seed=9):
-    """Two identical (cluster, partition, matrix) stacks, one per backend."""
+#: Fused backends pinned kernel-by-kernel against the looped reference.
+FUSED_BACKENDS = ("vectorized", "compiled")
+
+
+def _pair(n_nodes=4, n=64, cost_model=None, seed=9, backend="vectorized"):
+    """Two identical (cluster, partition, matrix) stacks: looped + ``backend``."""
     matrix = poisson_2d(8)
     stacks = []
-    for backend in ("looped", "vectorized"):
+    for kernels in ("looped", backend):
         cluster = VirtualCluster(
-            n_nodes, cost_model=cost_model or NOISY, seed=seed, kernels=backend
+            n_nodes, cost_model=cost_model or NOISY, seed=seed, kernels=kernels
         )
         partition = BlockRowPartition.uniform(matrix.shape[0], n_nodes)
         dmatrix = DistributedMatrix(cluster, partition, matrix)
@@ -200,12 +209,13 @@ def _assert_cluster_equal(a: VirtualCluster, b: VirtualCluster):
     assert a.stats.summary() == b.stats.summary()
 
 
+@pytest.mark.parametrize("backend", FUSED_BACKENDS)
 @pytest.mark.parametrize(
     "op",
     ["axpy", "aypx", "scale", "subtract", "assign", "dot_many", "fill"],
 )
-def test_vector_ops_bit_identical(op):
-    (cl_l, part_l, _), (cl_v, part_v, _) = _pair()
+def test_vector_ops_bit_identical(op, backend):
+    (cl_l, part_l, _), (cl_v, part_v, _) = _pair(backend=backend)
     rng = np.random.default_rng(3)
     base = rng.standard_normal(part_l.n)
     other = rng.standard_normal(part_l.n)
@@ -250,8 +260,9 @@ def test_vector_blocks_are_views_of_flat_data():
     assert all(float(block.sum()) == 0.0 for block in vec.blocks)
 
 
-def test_spmv_bit_identical_and_same_accounting():
-    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair()
+@pytest.mark.parametrize("backend", FUSED_BACKENDS)
+def test_spmv_bit_identical_and_same_accounting(backend):
+    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair(backend=backend)
     x = random_vector(part_l.n, seed=11)
 
     out_l = SpMVExecutor(m_l).multiply(
@@ -275,8 +286,9 @@ def test_spmv_matches_direct_product():
     np.testing.assert_allclose(out.to_global(), matrix @ x, rtol=1e-13)
 
 
-def test_aspmv_bit_identical_including_stashes():
-    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair()
+@pytest.mark.parametrize("backend", FUSED_BACKENDS)
+def test_aspmv_bit_identical_including_stashes(backend):
+    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair(backend=backend)
     x = random_vector(part_l.n, seed=21)
     outs = []
     for cluster, partition, dmatrix in ((cl_l, part_l, m_l), (cl_v, part_v, m_v)):
@@ -300,12 +312,13 @@ def test_aspmv_bit_identical_including_stashes():
                 np.testing.assert_array_equal(per_l[owner][1], per_v[owner][1])
 
 
+@pytest.mark.parametrize("backend", FUSED_BACKENDS)
 @pytest.mark.parametrize(
     "name",
     ["identity", "jacobi", "block_jacobi", "block_ssor", "block_ichol"],
 )
-def test_preconditioner_apply_bit_identical(name):
-    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair()
+def test_preconditioner_apply_bit_identical(name, backend):
+    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair(backend=backend)
     r_values = random_vector(part_l.n, seed=13)
     outs = []
     for cluster, partition, dmatrix in ((cl_l, part_l, m_l), (cl_v, part_v, m_v)):
@@ -358,3 +371,59 @@ def test_stacked_spmv_cache_shape_and_reuse():
     template = dmatrix.plan.message_template("spmv_halo")
     assert dmatrix.plan.message_template("spmv_halo") is template
     assert all(entry[3] == "spmv_halo" for entry in template)
+
+
+def test_fused_spmv_cache_shape_and_reuse():
+    matrix = poisson_2d(8)
+    _, partition, dmatrix = make_distributed(matrix, n_nodes=4)
+    cache = dmatrix.plan.flat_cache()
+    fused = cache.fused_matrix()
+    assert fused.shape == (partition.n, partition.n)
+    assert fused.nnz == cache.stacked_matrix.nnz
+    assert cache.fused_matrix() is fused  # built once
+
+    # The remap is exact: applying the fused matrix to the flat vector
+    # equals applying the stacked matrix to [flat, gathered ghosts] —
+    # bit for bit, because the per-row data order is untouched.
+    values = random_vector(partition.n, seed=23)
+    stacked_in = np.concatenate([values, values[cache.ghost_gather]])
+    np.testing.assert_array_equal(
+        fused @ values, cache.stacked_matrix @ stacked_in
+    )
+
+
+@pytest.mark.parametrize("backend", FUSED_BACKENDS)
+def test_cg_update_bit_identical_and_same_accounting(backend):
+    """The fused CG tail matches the looped composition, charges included."""
+    (cl_l, part_l, m_l), (cl_v, part_v, m_v) = _pair(backend=backend)
+    n = part_l.n
+    x_g = random_vector(n, seed=31)
+    r_g = random_vector(n, seed=32)
+    p_g = random_vector(n, seed=33)
+    rho_g = random_vector(n, seed=34)
+    alpha, rz_old = 0.37, 1.25
+
+    results = []
+    for cluster, partition, dmatrix in ((cl_l, part_l, m_l), (cl_v, part_v, m_v)):
+        precond = make_preconditioner("block_jacobi")
+        precond.setup(dmatrix)
+        x = DistributedVector.from_global(cluster, partition, x_g)
+        r = DistributedVector.from_global(cluster, partition, r_g)
+        z = DistributedVector(cluster, partition)
+        p = DistributedVector.from_global(cluster, partition, p_g)
+        rho = DistributedVector.from_global(cluster, partition, rho_g)
+        rz_new, r_norm_sq, beta = cluster.kernels.cg_update(
+            x, r, z, p, rho, alpha, rz_old, precond
+        )
+        results.append(
+            (rz_new, r_norm_sq, beta,
+             x.to_global(), r.to_global(), z.to_global(), p.to_global())
+        )
+
+    (rz_l, rn_l, beta_l, *vecs_l), (rz_v, rn_v, beta_v, *vecs_v) = results
+    assert rz_l == rz_v
+    assert rn_l == rn_v
+    assert beta_l == beta_v
+    for vec_l, vec_v in zip(vecs_l, vecs_v):
+        np.testing.assert_array_equal(vec_l, vec_v)
+    _assert_cluster_equal(cl_l, cl_v)

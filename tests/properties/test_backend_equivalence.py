@@ -1,15 +1,20 @@
-"""Property: looped and vectorized backends are interchangeable, bit for bit.
+"""Property: the kernel backends are interchangeable, bit for bit.
 
 The acceptance bar of the kernel-backend layer: for every strategy,
 preconditioner, ϕ and failure scenario — failure-free, worst-case and
-storm regimes included — the ``vectorized`` backend produces the same
-:class:`~repro.api.SolveReport` as the ``looped`` reference semantics:
+storm regimes included — each backend produces the same
+:class:`~repro.api.SolveReport` as its reference:
 
 * bit-identical solution vectors and residual trajectories,
 * identical per-channel :class:`~repro.cluster.statistics.ClusterStats`,
 * identical simulated clocks (``modeled_time``), *including* under a
   noisy cost model, where equality additionally proves both backends
   consume the cost-noise RNG in the same charge order.
+
+The pins form a chain: ``vectorized`` is pinned against the ``looped``
+per-rank reference semantics, and ``compiled`` is pinned against
+``vectorized`` exactly the same way — so all three are transitively
+bit-identical and any backend can serve any stored record.
 """
 
 from __future__ import annotations
@@ -26,6 +31,13 @@ from repro.matrices import poisson_2d
 N_NODES = 4
 NOISY = CostModel(alpha=1e-6, beta=1e-9, gamma=1e-9, mu=1e-11, noise=0.05)
 
+#: (reference, candidate) pins; each candidate must reproduce its
+#: reference bit for bit.
+BACKEND_PAIRS = (
+    ("looped", "vectorized"),
+    ("vectorized", "compiled"),
+)
+
 
 @pytest.fixture(scope="module")
 def problem():
@@ -35,29 +47,29 @@ def problem():
     return matrix, b
 
 
-def _sessions(problem, cost_model=None, seed=0):
+def _sessions(problem, pair, cost_model=None, seed=0):
     matrix, b = problem
     return tuple(
         repro.SolverSession(
             matrix, b, n_nodes=N_NODES, cost_model=cost_model, seed=seed,
             backend=backend,
         )
-        for backend in ("looped", "vectorized")
+        for backend in pair
     )
 
 
-def _assert_reports_identical(report_l, report_v):
-    assert report_v.backend == "vectorized" and report_l.backend == "looped"
-    assert report_l.converged == report_v.converged
-    assert report_l.iterations == report_v.iterations
-    assert report_l.executed_iterations == report_v.executed_iterations
-    assert report_l.relative_residual == report_v.relative_residual
-    assert report_l.modeled_time == report_v.modeled_time
-    assert report_l.recovery_time == report_v.recovery_time
-    assert report_l.stats == report_v.stats
-    np.testing.assert_array_equal(report_l.x, report_v.x)
+def _assert_reports_identical(report_a, report_b, pair):
+    assert report_a.backend == pair[0] and report_b.backend == pair[1]
+    assert report_a.converged == report_b.converged
+    assert report_a.iterations == report_b.iterations
+    assert report_a.executed_iterations == report_b.executed_iterations
+    assert report_a.relative_residual == report_b.relative_residual
+    assert report_a.modeled_time == report_b.modeled_time
+    assert report_a.recovery_time == report_b.recovery_time
+    assert report_a.stats == report_b.stats
+    np.testing.assert_array_equal(report_a.x, report_b.x)
     assert (
-        report_l.result.residual_history == report_v.result.residual_history
+        report_a.result.residual_history == report_b.result.residual_history
     )
 
 
@@ -83,6 +95,7 @@ scenario_specs = st.one_of(
 
 @settings(max_examples=25, deadline=None)
 @given(
+    pair=st.sampled_from(BACKEND_PAIRS),
     spec=scenario_specs,
     strategy=st.sampled_from(["reference", "esr", "esrp", "imcr"]),
     T=st.sampled_from([5, 10]),
@@ -90,10 +103,10 @@ scenario_specs = st.one_of(
     seed=st.integers(min_value=0, max_value=2**16),
 )
 def test_backends_bit_identical_over_random_scenarios(
-    problem, spec, strategy, T, phi, seed
+    problem, pair, spec, strategy, T, phi, seed
 ):
-    session_l, session_v = _sessions(problem, seed=seed)
-    reference = session_v.reference()
+    session_a, session_b = _sessions(problem, pair, seed=seed)
+    reference = session_b.reference()
 
     if strategy == "reference" or not spec.injects_failures:
         failures = ()
@@ -111,48 +124,54 @@ def test_backends_bit_identical_over_random_scenarios(
         failures = ()
 
     request = dict(strategy=strategy, T=T, phi=phi, failures=failures, seed=seed)
-    report_l = session_l.solve(repro.SolveRequest(**request))
-    report_v = session_v.solve(repro.SolveRequest(**request))
-    _assert_reports_identical(report_l, report_v)
+    report_a = session_a.solve(repro.SolveRequest(**request))
+    report_b = session_b.solve(repro.SolveRequest(**request))
+    _assert_reports_identical(report_a, report_b, pair)
 
 
+@pytest.mark.parametrize("pair", BACKEND_PAIRS, ids="/".join)
 @pytest.mark.parametrize("strategy", ["reference", "esr", "esrp", "imcr"])
-def test_backends_identical_under_noisy_cost_model(problem, strategy):
+def test_backends_identical_under_noisy_cost_model(problem, pair, strategy):
     """Noise forces both backends through the same RNG draw sequence."""
-    session_l, session_v = _sessions(problem, cost_model=NOISY, seed=7)
+    session_a, session_b = _sessions(problem, pair, cost_model=NOISY, seed=7)
     failures = (
         [repro.FailureEvent(12, (1,))] if strategy != "reference" else []
     )
     request = dict(strategy=strategy, T=8, phi=1, failures=failures)
     _assert_reports_identical(
-        session_l.solve(repro.SolveRequest(**request)),
-        session_v.solve(repro.SolveRequest(**request)),
+        session_a.solve(repro.SolveRequest(**request)),
+        session_b.solve(repro.SolveRequest(**request)),
+        pair,
     )
 
 
+@pytest.mark.parametrize("pair", BACKEND_PAIRS, ids="/".join)
 @pytest.mark.parametrize("preconditioner", ["identity", "jacobi", "block_ssor"])
-def test_backends_identical_across_preconditioners(problem, preconditioner):
-    session_l, session_v = _sessions(problem, seed=3)
+def test_backends_identical_across_preconditioners(problem, pair, preconditioner):
+    session_a, session_b = _sessions(problem, pair, seed=3)
     request = dict(
         strategy="esrp", T=6, phi=1,
         preconditioner=preconditioner,
         failures=[repro.FailureEvent(9, (2,))],
     )
     _assert_reports_identical(
-        session_l.solve(repro.SolveRequest(**request)),
-        session_v.solve(repro.SolveRequest(**request)),
+        session_a.solve(repro.SolveRequest(**request)),
+        session_b.solve(repro.SolveRequest(**request)),
+        pair,
     )
 
 
-def test_backends_identical_with_polynomial_and_imcr(problem):
+@pytest.mark.parametrize("pair", BACKEND_PAIRS, ids="/".join)
+def test_backends_identical_with_polynomial_and_imcr(problem, pair):
     """A *global* preconditioner: its SpMVs ride the backend too."""
-    session_l, session_v = _sessions(problem, seed=5)
+    session_a, session_b = _sessions(problem, pair, seed=5)
     request = dict(
         strategy="imcr", T=6, phi=1,
         preconditioner="polynomial",
         failures=[repro.FailureEvent(9, (0,))],
     )
     _assert_reports_identical(
-        session_l.solve(repro.SolveRequest(**request)),
-        session_v.solve(repro.SolveRequest(**request)),
+        session_a.solve(repro.SolveRequest(**request)),
+        session_b.solve(repro.SolveRequest(**request)),
+        pair,
     )
