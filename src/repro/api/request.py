@@ -33,20 +33,27 @@ from ..exceptions import ConfigurationError
 from .registry import KERNELS, PRECONDITIONERS, STRATEGIES
 
 
-def _normalise_failures(failures) -> tuple[FailureEvent, ...]:
-    """Accept a schedule, events, dicts or (iteration, ranks) pairs."""
+def _normalise_failures(failures) -> tuple:
+    """Accept a schedule, events, dicts or (iteration, ranks) pairs.
+
+    Beyond the historical fail-stop shapes, fault-taxonomy events pass
+    through: ``SDCEvent``/``ChurnEvent`` instances, and mappings with a
+    ``"kind"`` key (dispatched by :func:`repro.faults.events.event_from_dict`).
+    """
+    # Imported lazily: repro.faults pulls in the registry machinery,
+    # which must not load while this module is still initialising.
+    from ..faults.events import SDCEvent, event_from_dict
+
     if failures is None:
         return ()
-    if isinstance(failures, FailureEvent):
+    if isinstance(failures, (FailureEvent, SDCEvent)):
         failures = [failures]
-    events: list[FailureEvent] = []
+    events: list = []
     for item in failures:
-        if isinstance(item, FailureEvent):
+        if isinstance(item, (FailureEvent, SDCEvent)):
             events.append(item)
         elif isinstance(item, Mapping):
-            events.append(
-                FailureEvent(int(item["iteration"]), tuple(item["ranks"]))
-            )
+            events.append(event_from_dict(item))
         else:
             iteration, ranks = item
             events.append(FailureEvent(int(iteration), tuple(ranks)))
@@ -63,6 +70,10 @@ class SolveRequest:
     preconditioner: str = "block_jacobi"
     #: Extra keyword arguments for the preconditioner builder.
     precond_params: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Extra keyword arguments for the strategy builder (e.g.
+    #: ``threshold``/``mode`` for ``pv``, ``error_bound``/``ratio`` for
+    #: ``lossy_imcr``).  Builders ignore keys they don't take.
+    strategy_params: dict[str, Any] = dataclasses.field(default_factory=dict)
     rtol: float = 1e-8
     maxiter: int | None = None
     failures: tuple[FailureEvent, ...] = ()
@@ -98,6 +109,7 @@ class SolveRequest:
             self, "preconditioner", PRECONDITIONERS.resolve(self.preconditioner)
         )
         object.__setattr__(self, "precond_params", dict(self.precond_params))
+        object.__setattr__(self, "strategy_params", dict(self.strategy_params))
         object.__setattr__(self, "failures", _normalise_failures(self.failures))
         if self.backend is not None:
             object.__setattr__(self, "backend", KERNELS.resolve(self.backend))
@@ -142,7 +154,17 @@ class SolveRequest:
     # ------------------------------------------------------------ conveniences
 
     def schedule(self) -> FailureSchedule:
-        """The request's failures as a fresh :class:`FailureSchedule`."""
+        """The request's failures as a fresh schedule.
+
+        Fail-stop-only requests get the plain
+        :class:`FailureSchedule`; the corruption-carrying
+        :class:`~repro.faults.events.FaultSchedule` appears exactly
+        when silent-corruption events are present.
+        """
+        from ..faults.events import FaultSchedule, SDCEvent
+
+        if any(isinstance(e, SDCEvent) for e in self.failures):
+            return FaultSchedule(list(self.failures))
         return FailureSchedule(list(self.failures))
 
     @property
@@ -157,9 +179,9 @@ class SolveRequest:
 
     def to_dict(self) -> dict[str, Any]:
         data = dataclasses.asdict(self)
-        data["failures"] = [
-            {"iteration": e.iteration, "ranks": list(e.ranks)} for e in self.failures
-        ]
+        # Each event serialises its own shape: plain failures keep the
+        # historical {iteration, ranks} form; taxonomy events add "kind".
+        data["failures"] = [e.to_dict() for e in self.failures]
         return data
 
     @classmethod

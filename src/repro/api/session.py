@@ -303,6 +303,7 @@ class SolverSession:
             phi=request.phi,
             rule=request.rule,
             destinations=request.destinations,
+            **request.strategy_params,
         )
         engine = PCGEngine(
             matrix=self.matrix,

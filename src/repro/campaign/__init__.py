@@ -46,7 +46,10 @@ A campaign spec file is a single JSON object::
         {"kind": "fraction", "fraction": 0.5, "location": "center"},
         {"kind": "multi_node", "width": 2},
         {"kind": "storm", "count": 3},
-        {"kind": "mtbf", "mtbf_fraction": 0.4}
+        {"kind": "mtbf", "mtbf_fraction": 0.4},
+        {"kind": "sdc", "probability": 0.01},
+        {"kind": "lossy", "error_bound": 1e-4, "ratio": 4.0},
+        {"kind": "churn", "epoch_fraction": 0.2}
       ],
       "repetitions": 2,                    # seeded repetitions per cell
       "seed": 2020,                        # campaign base seed
@@ -85,7 +88,14 @@ from .scenarios import (
     generate_schedule,
     scenario_kinds,
 )
-from .spec import CampaignSpec, RunSpec, StrategySpec, demo_spec, expand_spec
+from .spec import (
+    CampaignSpec,
+    RunSpec,
+    StrategySpec,
+    demo_spec,
+    expand_spec,
+    faults_spec,
+)
 
 __all__ = [
     "CampaignResult",
@@ -99,6 +109,7 @@ __all__ = [
     "demo_spec",
     "execute_campaign",
     "expand_spec",
+    "faults_spec",
     "generate_schedule",
     "run_one",
     "scenario_kinds",

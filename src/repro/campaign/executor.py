@@ -118,6 +118,18 @@ def run_one(run: RunSpec) -> CampaignRunRecord:
         )
         failures = generate_schedule(run.scenario, ctx)
 
+    # The lossy regime's error-model parameters ride on the scenario;
+    # hand them to the strategy builder (non-lossy strategies ignore
+    # them, so the same scenario A/Bs cleanly against exact baselines).
+    strategy_params: dict = {}
+    if run.scenario.kind == "lossy" and run.strategy != "reference":
+        params = dict(run.scenario.params)
+        strategy_params = {
+            "error_bound": params.get("error_bound", 1e-4),
+            "ratio": params.get("ratio", 4.0),
+            "seed": run.seed,
+        }
+
     request = SolveRequest(
         strategy=run.strategy,
         T=run.T,
@@ -125,6 +137,7 @@ def run_one(run: RunSpec) -> CampaignRunRecord:
         preconditioner=run.preconditioner,
         rtol=run.rtol,
         failures=failures,
+        strategy_params=strategy_params,
         seed=run.seed,
         n_nodes=run.n_nodes,
         backend=run.backend,

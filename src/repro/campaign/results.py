@@ -30,6 +30,30 @@ from ..exceptions import ConfigurationError
 from ..harness.metrics import median
 from .scenarios import ScenarioSpec
 
+#: ``faults[...]`` counter keys (see
+#: :class:`~repro.cluster.statistics.ClusterStats`) that count *injected*
+#: faults, as opposed to the solver's reactions to them.
+_INJECTED_FAULT_KINDS = ("node_failure", "sdc", "churn")
+
+
+def _cell_median(values: Iterable[Any]) -> float | None:
+    """Median over the non-``None`` entries of a cell, ``None`` if empty.
+
+    Stored baseline files may carry ``null`` for fields their code
+    revision could not compute (e.g. overheads of a run that never got
+    a reference); a report cell over such records renders "no data"
+    rather than crashing the whole comparison.
+    """
+    present = [v for v in values if v is not None]
+    return median(present) if present else None
+
+
+def _faults_injected(stats: Mapping[str, float]) -> float:
+    """Total injected-fault count recorded in one run's stats."""
+    return sum(
+        stats.get(f"faults[{kind}]", 0.0) for kind in _INJECTED_FAULT_KINDS
+    )
+
 
 @dataclasses.dataclass(frozen=True)
 class CampaignRunRecord:
@@ -282,10 +306,21 @@ class CampaignResult:
                     "backend": backend,
                     "runs": len(cell),
                     "converged": all(r.converged for r in cell),
-                    "total_overhead": median([r.total_overhead for r in cell]),
-                    "recovery_overhead": median([r.recovery_overhead for r in cell]),
-                    "wasted_iterations": median(
+                    "total_overhead": _cell_median([r.total_overhead for r in cell]),
+                    "recovery_overhead": _cell_median(
+                        [r.recovery_overhead for r in cell]
+                    ),
+                    "wasted_iterations": _cell_median(
                         [float(r.wasted_iterations) for r in cell]
+                    ),
+                    "faults_injected": _cell_median(
+                        [_faults_injected(r.stats) for r in cell]
+                    ),
+                    "faults_detected": _cell_median(
+                        [r.stats.get("faults[sdc_detected]", 0.0) for r in cell]
+                    ),
+                    "rollbacks": _cell_median(
+                        [r.stats.get("faults[rollback]", 0.0) for r in cell]
                     ),
                 }
             )
@@ -373,10 +408,17 @@ class CampaignResult:
             strategy, T, scenario, phi, backend = key
             a, b = ours.get(key), theirs.get(key)
 
+            def _side(row, field: str):
+                # ``.get``: rows computed from old stored baselines may
+                # lack newer columns; the cell then reads "no data"
+                # instead of raising.
+                return row.get(field) if row else None
+
             def _delta(field: str):
-                if a is None or b is None:
+                va, vb = _side(a, field), _side(b, field)
+                if va is None or vb is None:
                     return None
-                return a[field] - b[field]
+                return va - vb
 
             rows.append(
                 {
@@ -387,13 +429,11 @@ class CampaignResult:
                     "backend": backend,
                     "runs": a["runs"] if a else 0,
                     "baseline_runs": b["runs"] if b else 0,
-                    "total_overhead": a["total_overhead"] if a else None,
-                    "baseline_total_overhead": b["total_overhead"] if b else None,
+                    "total_overhead": _side(a, "total_overhead"),
+                    "baseline_total_overhead": _side(b, "total_overhead"),
                     "delta_total_overhead": _delta("total_overhead"),
-                    "recovery_overhead": a["recovery_overhead"] if a else None,
-                    "baseline_recovery_overhead": (
-                        b["recovery_overhead"] if b else None
-                    ),
+                    "recovery_overhead": _side(a, "recovery_overhead"),
+                    "baseline_recovery_overhead": _side(b, "recovery_overhead"),
                     "delta_recovery_overhead": _delta("recovery_overhead"),
                 }
             )
@@ -567,10 +607,15 @@ class CampaignResult:
         )
         for problem in self.problems():
             sample = next(r for r in self.records if r.problem == problem)
+            t0 = (
+                f"{sample.reference_time:.4g} s"
+                if sample.reference_time is not None
+                else "-"
+            )
             lines.append("")
             lines.append(
                 f"problem {problem} (scale={sample.scale}, N={sample.n_nodes}, "
-                f"t0 = {sample.reference_time:.4g} s, C = {sample.reference_iterations})"
+                f"t0 = {t0}, C = {sample.reference_iterations})"
             )
             phis = sorted(
                 {r.phi for r in self.records
@@ -580,7 +625,8 @@ class CampaignResult:
             header = (
                 f"{'Strategy':9s} {'T':>4s} | {'Scenario':34s} | "
                 f"{'Total overhead [%]':^{max(len(total_hdr), 20)}s} | "
-                f"{'Reconstruction [%]':^{max(len(total_hdr), 20)}s} | {'wasted':>7s}"
+                f"{'Reconstruction [%]':^{max(len(total_hdr), 20)}s} | "
+                f"{'wasted':>7s} | {'inj':>5s} {'det':>5s} {'rb':>5s}"
             )
             lines.append(header)
             lines.append("-" * len(header))
@@ -600,23 +646,39 @@ class CampaignResult:
                 label = "ESR" if strategy == "esr" and T == 1 else strategy.upper()
                 first = (strategy, T) != last_strategy_T
                 last_strategy_T = (strategy, T)
-                total = " ".join(
-                    f"{100 * by_phi[phi]['total_overhead']:6.1f} " if phi in by_phi
-                    else "    -  "
-                    for phi in phis
-                )
-                rec = " ".join(
-                    f"{100 * by_phi[phi]['recovery_overhead']:6.1f} " if phi in by_phi
-                    else "    -  "
-                    for phi in phis
-                )
-                wasted = max(
-                    (by_phi[phi]["wasted_iterations"] for phi in by_phi), default=0.0
-                )
+
+                def band(field: str) -> str:
+                    # One cell per ϕ; "no data" for an absent ϕ *or* a
+                    # cell whose median could not be computed (all-None
+                    # records from an old baseline file).
+                    cells = []
+                    for phi in phis:
+                        value = by_phi.get(phi, {}).get(field)
+                        cells.append(
+                            f"{100 * value:6.1f} " if value is not None else "    -  "
+                        )
+                    return " ".join(cells)
+
+                def peak(field: str) -> float:
+                    return max(
+                        (
+                            row[field]
+                            for row in by_phi.values()
+                            if row.get(field) is not None
+                        ),
+                        default=0.0,
+                    )
+
+                total = band("total_overhead")
+                rec = band("recovery_overhead")
                 lines.append(
                     f"{label if first else '':9s} {(str(T) if first else ''):>4s} | "
                     f"{scenario:34s} | "
                     f"{total:^{max(len(total_hdr), 20)}s} | "
-                    f"{rec:^{max(len(total_hdr), 20)}s} | {wasted:7.1f}"
+                    f"{rec:^{max(len(total_hdr), 20)}s} | "
+                    f"{peak('wasted_iterations'):7.1f} | "
+                    f"{peak('faults_injected'):5.1f} "
+                    f"{peak('faults_detected'):5.1f} "
+                    f"{peak('rollbacks'):5.1f}"
                 )
         return "\n".join(lines)

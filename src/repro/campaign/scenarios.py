@@ -25,10 +25,23 @@ Kinds
 ``mtbf``
     Exponential inter-arrival (Poisson) schedule driven by a mean time
     between failures expressed in iterations or as a fraction of C.
+``sdc``
+    Silent-data-corruption strikes from seeded per-node Bernoulli
+    trials (:class:`repro.faults.sdc.SDCModel`); pair with the ``pv``
+    detection strategies.
+``lossy``
+    Fail-stop events that exercise lossy-checkpoint restores, carrying
+    the compressor's ``error_bound``/``ratio`` parameters
+    (:class:`repro.faults.lossy.LossyCheckpointModel`); pair with
+    ``lossy_imcr``.
+``churn``
+    Epoch-based node leave/rejoin churn with critical/sufficient
+    cluster-size accounting (:class:`repro.faults.churn.ChurnModel`).
 
 Every generator clamps the failing-block width to ``min(width, ϕ,
 N - 1)`` so the produced scenario is recoverable by construction —
-campaign rows measure overhead, not data loss.
+campaign rows measure overhead, not data loss.  The fault-taxonomy
+kinds delegate to the registered models in :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -88,6 +101,14 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unknown scenario kind {kind!r}; available: {', '.join(scenario_kinds())}"
             )
+        # Sequence-valued parameters (e.g. per-node corruption_chances)
+        # arrive as JSON lists; coerce to tuples so RunSpecs stay
+        # hashable (json re-serialises tuples as lists, so round-trips
+        # are stable).
+        params = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in params.items()
+        }
         return cls(kind=kind, params=tuple(sorted(params.items())))
 
     @classmethod
@@ -143,12 +164,13 @@ def _fraction(
     location: str = "start",
     width: int | None = None,
 ) -> FailureSchedule:
-    if not 0.0 < fraction < 1.0:
-        raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
-    width = ctx.clamp_width(width)
-    iteration = ctx.clamp_iteration(round(fraction * ctx.reference_iterations))
-    ranks = block_failure_ranks(location, width, ctx.n_nodes)
-    return FailureSchedule([FailureEvent(iteration, ranks)])
+    # Delegates to the registered fail-stop fault model (imported
+    # lazily to keep the module graph acyclic); the produced schedule
+    # is identical to the historical inline generator.
+    from ..faults.node_failure import NodeFailureModel
+
+    model = NodeFailureModel(fraction=fraction, location=location, width=width)
+    return model.schedule(ctx)
 
 
 def _multi_node(
@@ -246,6 +268,27 @@ def _mtbf(
     return FailureSchedule([e for e in schedule if e.iteration >= 1])
 
 
+def _sdc(ctx: ScenarioContext, **params: Any) -> FailureSchedule:
+    """Silent-corruption strikes (see :class:`repro.faults.sdc.SDCModel`)."""
+    from ..faults import make_fault_model
+
+    return make_fault_model("sdc", **params).schedule(ctx)
+
+
+def _lossy(ctx: ScenarioContext, **params: Any) -> FailureSchedule:
+    """Lossy-checkpoint regime (see :class:`repro.faults.lossy.LossyCheckpointModel`)."""
+    from ..faults import make_fault_model
+
+    return make_fault_model("lossy_checkpoint", **params).schedule(ctx)
+
+
+def _churn(ctx: ScenarioContext, **params: Any) -> FailureSchedule:
+    """Epoch-based churn (see :class:`repro.faults.churn.ChurnModel`)."""
+    from ..faults import make_fault_model
+
+    return make_fault_model("churn", **params).schedule(ctx)
+
+
 SCENARIO_KINDS: dict[str, Callable[..., FailureSchedule]] = {
     "failure_free": _failure_free,
     "worst_case": _worst_case,
@@ -253,6 +296,9 @@ SCENARIO_KINDS: dict[str, Callable[..., FailureSchedule]] = {
     "multi_node": _multi_node,
     "storm": _storm,
     "mtbf": _mtbf,
+    "sdc": _sdc,
+    "lossy": _lossy,
+    "churn": _churn,
 }
 
 

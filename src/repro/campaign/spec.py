@@ -345,6 +345,40 @@ def demo_spec(
     )
 
 
+def faults_spec(
+    scale: str = "tiny",
+    repetitions: int = 2,
+    n_nodes: int = 8,
+) -> CampaignSpec:
+    """The fault-taxonomy demo sweep (``repro campaign run --demo faults``).
+
+    A/Bs the detection/lossy strategies against the paper's baselines
+    under the new fault regimes: ``pv``/``pv_forward`` vs ESR/ESRP
+    under silent corruption, and ``lossy_imcr`` vs exact IMCR under
+    the lossy-checkpoint regime.  The report's Table-2-style overhead
+    columns gain the ``inj``/``det``/``rb`` fault counters.
+    """
+    return CampaignSpec(
+        name=f"faults-{scale}",
+        problems=(("emilia_923_like", scale),),
+        n_nodes=n_nodes,
+        strategies=(
+            StrategySpec("esr"),
+            StrategySpec("esrp", (20,)),
+            StrategySpec("pv", (10,)),
+            StrategySpec("pv_forward", (10,)),
+            StrategySpec("imcr", (20,)),
+            StrategySpec("lossy_imcr", (20,)),
+        ),
+        phis=(1,),
+        scenarios=(
+            ScenarioSpec.make("sdc", probability=0.01, mode="bitflip"),
+            ScenarioSpec.make("lossy", fraction=0.5, error_bound=1e-4, ratio=4.0),
+        ),
+        repetitions=repetitions,
+    )
+
+
 def iter_run_dicts(runs: Iterable[RunSpec]) -> list[dict[str, Any]]:
     """JSON-friendly view of an expanded run list (debugging/reports)."""
     return [run.to_dict() for run in runs]

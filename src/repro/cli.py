@@ -127,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--spec", default=None, metavar="FILE",
                          help="JSON campaign spec (default: built-in demo sweep)")
+    run_cmd.add_argument("--demo", default="paper", choices=("paper", "faults"),
+                         help="built-in sweep used when no --spec is given: "
+                         "the paper's Table-2 demo, or the fault-taxonomy "
+                         "sweep (SDC + lossy checkpoints vs. pv/lossy_imcr)")
     run_cmd.add_argument("--out", default="campaign_results.json", metavar="FILE",
                          help="where to store the result records (JSON)")
     run_cmd.add_argument("--workers", type=int, default=None,
@@ -167,6 +171,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="queue directory (must not hold a queue yet)")
     submit_cmd.add_argument("--spec", default=None, metavar="FILE",
                             help="JSON campaign spec (default: built-in demo)")
+    submit_cmd.add_argument("--demo", default="paper",
+                            choices=("paper", "faults"),
+                            help="built-in sweep used when no --spec is given")
     submit_cmd.add_argument("--scale", default="tiny", choices=available_scales(),
                             help="matrix scale of the built-in demo sweep")
     submit_cmd.add_argument("--repetitions", type=int, default=None,
@@ -360,10 +367,12 @@ def _campaign_spec_from_args(args: argparse.Namespace):
     """Shared spec assembly for ``campaign run`` and ``campaign submit``."""
     import dataclasses
 
-    from .campaign import CampaignSpec, demo_spec
+    from .campaign import CampaignSpec, demo_spec, faults_spec
 
     if args.spec:
         spec = CampaignSpec.from_json(args.spec)
+    elif getattr(args, "demo", "paper") == "faults":
+        spec = faults_spec(scale=args.scale)
     else:
         spec = demo_spec(scale=args.scale)
     if args.repetitions is not None:

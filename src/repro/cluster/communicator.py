@@ -458,6 +458,29 @@ class VirtualCluster:
             if node.alive:
                 self.stats.record_redundancy_footprint(node.rank, node.redundancy_bytes())
 
+    # ------------------------------------------------------------------ faults
+
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        """Count a fault-subsystem occurrence (injection/detection/rollback).
+
+        Pure accounting: no clock movement, no liveness change.  The
+        counters surface as ``faults[<kind>]`` keys in
+        :meth:`ClusterStats.summary` (see :mod:`repro.faults`).
+        """
+        self.stats.record_fault(kind, count)
+
+    def corrupt(self, rank: int, kind: str = "sdc") -> NodeState:
+        """Declare a silent corruption strike on ``rank``.
+
+        The environment flips bits; the node neither notices nor pays
+        simulated time — the caller mutates the affected block in place
+        (``SDCEvent.apply``).  Validates liveness (dead nodes hold no
+        data to corrupt) and bumps the ``faults[<kind>]`` counter.
+        """
+        node = self.require_alive(rank)
+        self.stats.record_fault(kind)
+        return node
+
     # ------------------------------------------------------------------ failures
 
     def register_vector(self, vector: "DistributedVector") -> None:

@@ -41,6 +41,10 @@ class FailureEvent:
     iteration: int
     ranks: tuple[int, ...]
 
+    #: Fault-taxonomy tag (see :mod:`repro.faults`): which injected
+    #: fault class this event realises.  Subclasses override it.
+    fault_kind = "node_failure"
+
     def __post_init__(self) -> None:
         if self.iteration < 0:
             raise ConfigurationError(f"failure iteration must be >= 0, got {self.iteration}")
@@ -53,6 +57,10 @@ class FailureEvent:
     def width(self) -> int:
         """Number of simultaneously failing nodes (ψ in the paper)."""
         return len(self.ranks)
+
+    def to_dict(self) -> dict:
+        """JSON shape (the historical ``{iteration, ranks}`` form)."""
+        return {"iteration": self.iteration, "ranks": list(self.ranks)}
 
 
 class FailureSchedule:
@@ -89,6 +97,15 @@ class FailureSchedule:
                 self._cursor += 1
                 return event
         return None
+
+    def pop_corruptions(self, iteration: int) -> tuple:
+        """Silent-corruption events due at ``iteration`` (none here).
+
+        The fail-stop schedule carries no corruption events; the
+        generalised :class:`repro.faults.events.FaultSchedule` overrides
+        this, so the solver engine can poll one uniform interface.
+        """
+        return ()
 
     def pending(self) -> int:
         """Number of not-yet-consumed events."""

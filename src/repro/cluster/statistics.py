@@ -59,6 +59,9 @@ class ClusterStats:
         self.local_copy_bytes = np.zeros(self.n_nodes, dtype=np.int64)
         self.redundancy_peak_bytes = np.zeros(self.n_nodes, dtype=np.int64)
         self.channels: dict[str, ChannelTotals] = defaultdict(ChannelTotals)
+        #: Fault-subsystem counters (injections, detections, rollbacks)
+        #: keyed by kind — see :mod:`repro.faults` for the taxonomy.
+        self.faults: dict[str, int] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -84,6 +87,10 @@ class ClusterStats:
 
     def record_local_copy(self, rank: int, nbytes: int) -> None:
         self.local_copy_bytes[rank] += int(nbytes)
+
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        """Count an injected fault / detection / rollback of ``kind``."""
+        self.faults[kind] = self.faults.get(kind, 0) + int(count)
 
     def record_redundancy_footprint(self, rank: int, nbytes: int) -> None:
         """Track the peak bytes of redundant data resident on a node."""
@@ -116,4 +123,8 @@ class ClusterStats:
         for name, totals in sorted(self.channels.items()):
             out[f"bytes[{name}]"] = float(totals.bytes)
             out[f"messages[{name}]"] = float(totals.messages)
+        # Fault counters appear only when faults were injected, so
+        # fail-stop-free runs keep their historical stats shape.
+        for kind, count in sorted(self.faults.items()):
+            out[f"faults[{kind}]"] = float(count)
         return out

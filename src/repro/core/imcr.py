@@ -74,6 +74,18 @@ class IMCRStrategy(ResilienceStrategy):
             self._take_checkpoint(j, state)
         self._executor.multiply(state.p, out=state.rho)
 
+    # Checkpoint-content hooks: lossy variants (repro.core.lossy)
+    # override these to compress what is stored and what crosses the
+    # wire.  The base class stores exact copies at full size.
+
+    def _checkpoint_block(self, block: np.ndarray) -> np.ndarray:
+        """The stored/shipped representation of one state block."""
+        return block.copy()
+
+    def _checkpoint_nbytes(self, nbytes: int) -> int:
+        """The wire/copy size of an ``nbytes`` checkpoint payload."""
+        return nbytes
+
     def _take_checkpoint(self, j: int, state: PCGState) -> None:
         """Copy the local state and ship it to the buddies (charged)."""
         engine = self._engine
@@ -86,14 +98,16 @@ class IMCRStrategy(ResilienceStrategy):
             nbytes = 2 * BYTES_PER_FLOAT
             for name in STATE_VECTOR_NAMES:
                 block = state.vector(name).blocks[rank]
-                payload[name] = block.copy()
-                node.store[CKPT_PREFIX + name] = block.copy()
+                stored = self._checkpoint_block(block)
+                payload[name] = stored
+                node.store[CKPT_PREFIX + name] = stored.copy()
                 nbytes += block.nbytes
             node.scalars[CKPT_BETA] = beta
             node.scalars[CKPT_ITERATION] = float(j)
-            cluster.memcpy(rank, nbytes)
+            wire_bytes = self._checkpoint_nbytes(nbytes)
+            cluster.memcpy(rank, wire_bytes)
             for buddy in self._buddies[rank]:
-                messages.append((rank, buddy, nbytes, CHECKPOINT_CHANNEL, False))
+                messages.append((rank, buddy, wire_bytes, CHECKPOINT_CHANNEL, False))
                 cluster.node(buddy).buddy_checkpoints[rank] = dict(payload)
         # one concurrent communication round ("a completely new round of
         # communication in each storage iteration", §3.1)
@@ -135,7 +149,7 @@ class IMCRStrategy(ResilienceStrategy):
                 nbytes = 2 * BYTES_PER_FLOAT + sum(
                     payload[name].nbytes for name in STATE_VECTOR_NAMES
                 )
-                cluster.send(buddy, rank, nbytes, RECOVERY_CHANNEL)
+                cluster.send(buddy, rank, self._checkpoint_nbytes(nbytes), RECOVERY_CHANNEL)
                 replacement = cluster.node(rank)
                 for name in STATE_VECTOR_NAMES:
                     state.vector(name).blocks[rank][:] = payload[name]

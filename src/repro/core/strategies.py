@@ -20,6 +20,8 @@ from .baselines import (
 from .esr import ESRStrategy
 from .esrp import ESRPStrategy
 from .imcr import IMCRStrategy
+from .lossy import LossyIMCRStrategy
+from .pv import PV_THRESHOLD, PeriodicVerificationStrategy
 
 #: Canonical built-in strategy names (kept for backward compatibility;
 #: the authoritative list — including plugins — is
@@ -32,6 +34,9 @@ STRATEGY_NAMES = (
     "full_restart",
     "linear_interpolation",
     "least_squares",
+    "pv",
+    "pv_forward",
+    "lossy_imcr",
 )
 
 
@@ -80,12 +85,45 @@ def _build_least_squares(**_) -> ResilienceStrategy:
     return LeastSquaresRecovery()
 
 
+@register_strategy("pv", aliases=("periodic_verification",))
+def _build_pv(
+    T: int = 1, phi: int = 1, threshold: float = PV_THRESHOLD, mode: str = "backward", **_
+) -> ResilienceStrategy:
+    return PeriodicVerificationStrategy(
+        T=max(T, 1), phi=phi, threshold=threshold, mode=mode
+    )
+
+
+@register_strategy("pv_forward", aliases=("pvf",))
+def _build_pv_forward(
+    T: int = 1, phi: int = 1, threshold: float = PV_THRESHOLD, **_
+) -> ResilienceStrategy:
+    return PeriodicVerificationStrategy(
+        T=max(T, 1), phi=phi, threshold=threshold, mode="forward"
+    )
+
+
+@register_strategy("lossy_imcr", aliases=("lossy_cr",))
+def _build_lossy_imcr(
+    T: int = 1,
+    phi: int = 1,
+    error_bound: float = 1e-4,
+    ratio: float = 4.0,
+    seed: int = 0,
+    **_,
+) -> ResilienceStrategy:
+    return LossyIMCRStrategy(
+        T=max(T, 1), phi=phi, error_bound=error_bound, ratio=ratio, seed=seed
+    )
+
+
 def make_strategy(
     name: str,
     T: int = 1,
     phi: int = 1,
     rule: str = "paper",
     destinations: str = "eq1",
+    **extra,
 ) -> ResilienceStrategy:
     """Instantiate a resilience strategy by registered name.
 
@@ -105,7 +143,12 @@ def make_strategy(
         Designated-destination policy for redundant copies: ``"eq1"``
         (the paper's nearest neighbours) or ``"switch_aware"`` (prefer
         other fat-tree leaves — survives whole-switch faults).
+    **extra:
+        Strategy-specific parameters forwarded verbatim to the builder
+        (e.g. ``threshold``/``mode`` for ``pv``, ``error_bound``/
+        ``ratio`` for ``lossy_imcr``); builders ignore what they don't
+        take.
     """
     return STRATEGIES.create(
-        name, T=T, phi=phi, rule=rule, destinations=destinations
+        name, T=T, phi=phi, rule=rule, destinations=destinations, **extra
     )

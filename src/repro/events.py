@@ -24,6 +24,9 @@ class EventKind(enum.Enum):
     STORAGE_STAGE = "storage_stage"
     CHECKPOINT = "checkpoint"
     NODE_FAILURE = "node_failure"
+    SDC = "sdc"
+    SDC_DETECTED = "sdc_detected"
+    VERIFICATION = "verification"
     RECOVERY_START = "recovery_start"
     RECOVERY_END = "recovery_end"
     ROLLBACK = "rollback"

@@ -1,0 +1,64 @@
+"""Fault-model registry and protocol.
+
+A *fault model* turns campaign-level parameters (probabilities, epoch
+lengths, error bounds) into a concrete, fully deterministic schedule of
+fault events for one run.  Models are registered under string names in
+:data:`FAULTS` — the same :class:`~repro.api.registry.Registry`
+machinery that backs strategies, preconditioners, matrices, and kernel
+backends — so scenario generators, the CLI, and tests resolve them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..api.registry import Registry
+from ..cluster.failures import FailureSchedule
+
+#: Global fault-model registry (``node_failure``, ``sdc``,
+#: ``lossy_checkpoint``, ``churn`` — see the sibling modules).
+FAULTS = Registry("fault model")
+
+
+def register_fault(name: str, *, aliases: tuple[str, ...] = (), overwrite: bool = False):
+    """Class decorator: register a fault model under ``name``.
+
+    The decorated class is its own builder — scenario parameters are
+    passed as keyword arguments to the constructor.
+    """
+
+    def decorator(cls):
+        FAULTS.register(name, cls, aliases=aliases, overwrite=overwrite)
+        return cls
+
+    return decorator
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """What every registered fault model provides.
+
+    ``schedule(ctx)`` receives a
+    :class:`~repro.campaign.scenarios.ScenarioContext` (cluster size,
+    redundancy ϕ, strategy name, checkpoint interval, reference
+    iteration count, seed) and returns a
+    :class:`~repro.cluster.failures.FailureSchedule` — possibly the
+    corruption-carrying :class:`~repro.faults.events.FaultSchedule`
+    subclass.  The same context must always produce the same schedule:
+    all randomness derives from ``ctx.seed``.
+    """
+
+    name: str
+
+    def schedule(self, ctx) -> FailureSchedule: ...
+
+
+def make_fault_model(kind: str, **params) -> FaultModel:
+    """Instantiate the fault model registered under ``kind``."""
+    return FAULTS.create(kind, **params)
+
+
+def fault_kinds() -> tuple[str, ...]:
+    """Registered fault-model names (canonical, sorted)."""
+    return FAULTS.names()

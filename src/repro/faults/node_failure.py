@@ -1,0 +1,39 @@
+"""Fail-stop fault model — today's behaviour, behind the registry.
+
+This is the paper's regime expressed as a fault model: one contiguous
+block of ranks dies at a chosen fraction of the reference trajectory.
+The produced schedule is byte-identical to the historical ``fraction``
+scenario generator, which now delegates here.
+"""
+
+from __future__ import annotations
+
+from ..cluster.failures import FailureEvent, FailureSchedule, block_failure_ranks
+from ..exceptions import ConfigurationError
+from .base import register_fault
+
+
+@register_fault("node_failure", aliases=("fail_stop",))
+class NodeFailureModel:
+    """One contiguous-block fail-stop event at ``fraction * C``."""
+
+    name = "node_failure"
+
+    def __init__(
+        self,
+        fraction: float = 0.5,
+        location: str = "start",
+        width: int | None = None,
+        **_,
+    ):
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+        self.fraction = float(fraction)
+        self.location = location
+        self.width = width
+
+    def schedule(self, ctx) -> FailureSchedule:
+        width = ctx.clamp_width(self.width)
+        iteration = ctx.clamp_iteration(round(self.fraction * ctx.reference_iterations))
+        ranks = block_failure_ranks(self.location, width, ctx.n_nodes)
+        return FailureSchedule([FailureEvent(iteration, ranks)])

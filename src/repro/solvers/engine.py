@@ -142,6 +142,17 @@ class ResilienceStrategy(abc.ABC):
     def post_iteration(self, j: int, state: PCGState) -> None:
         """Called after β^{(j)} is computed, before the convergence test."""
 
+    def verify(self, j: int, state: PCGState) -> int | None:
+        """Optional silent-error check after iteration ``j`` completes.
+
+        Return the iteration to resume at to *reject* the iteration (a
+        detected corruption — the engine logs a rollback and jumps
+        there), or ``None`` to accept.  The base implementation never
+        rejects; periodic-verification strategies (:mod:`repro.core.pv`)
+        override this.
+        """
+        return None
+
     @abc.abstractmethod
     def recover(self, j: int, event: FailureEvent, state: PCGState) -> int:
         """Restore a consistent state; return the iteration to resume at."""
@@ -306,6 +317,7 @@ class PCGEngine:
                 self._inject_failure(j, event)
                 resume = self.strategy.recover(j, event, state)
                 self.recompute_rz(state)
+                self.cluster.record_fault("rollback")
                 self.log.record(
                     EventKind.ROLLBACK,
                     iteration=j,
@@ -315,6 +327,12 @@ class PCGEngine:
                 )
                 j = resume
                 continue
+
+            # --- silent-corruption injection point --------------------------
+            # Same spot as fail-stop events, but no notification: the
+            # environment mutates a block and the solver runs on.
+            for fault in self.failures.pop_corruptions(j):
+                self._inject_corruption(j, fault, state)
 
             # --- Alg. 1 lines 3-8 -------------------------------------------
             pap = state.p.dot(state.rho)
@@ -343,6 +361,22 @@ class PCGEngine:
             self.strategy.post_iteration(j, state)
 
             executed += 1
+
+            # --- verification point (silent-error detection) ----------------
+            resume = self.strategy.verify(j, state)
+            if resume is not None:
+                self.cluster.record_fault("rollback")
+                self.log.record(
+                    EventKind.ROLLBACK,
+                    iteration=j,
+                    time=self.cluster.elapsed(),
+                    resume_iteration=resume,
+                    wasted=j + 1 - resume,
+                    cause="verification",
+                )
+                j = resume
+                continue
+
             relative = float(np.sqrt(max(r_norm_sq, 0.0))) / state.b_norm
             if options.record_residuals:
                 residual_history.append(relative)
@@ -383,12 +417,47 @@ class PCGEngine:
     def _inject_failure(self, j: int, event: FailureEvent) -> None:
         """Wipe the failed nodes and log the event."""
         self.cluster.fail(event.ranks)
+        kind = getattr(event, "fault_kind", "node_failure")
+        self.cluster.record_fault(kind)
+        detail: dict = {"ranks": event.ranks, "width": event.width}
+        if kind == "churn":
+            # Epoch-membership accounting: did the departure push the
+            # cluster below its full-capacity (sufficient) size?  The
+            # critical floor (N - ϕ survivors) is unreachable here
+            # because generators clamp widths to recoverable blocks.
+            alive = len(self.cluster.alive_ranks())
+            detail.update(
+                epoch=event.epoch,
+                alive=alive,
+                critical_size=event.critical_size,
+                sufficient_size=event.sufficient_size,
+            )
+            if alive < event.sufficient_size:
+                self.cluster.record_fault("churn_degraded")
         self.log.record(
             EventKind.NODE_FAILURE,
             iteration=j,
             time=self.cluster.elapsed(),
-            ranks=event.ranks,
-            width=event.width,
+            **detail,
+        )
+
+    def _inject_corruption(self, j: int, fault, state: PCGState) -> None:
+        """Silently perturb one element of an owned block (no signal).
+
+        The mutation is plain elementwise numpy on the owned block and
+        costs nothing on the simulated clock — corruption is an act of
+        the environment, not of the algorithm.
+        """
+        self.cluster.corrupt(fault.rank, kind=fault.fault_kind)
+        block = state.vector(fault.vector).blocks[fault.rank]
+        info = fault.apply(block)
+        self.log.record(
+            EventKind.SDC,
+            iteration=j,
+            time=self.cluster.elapsed(),
+            rank=fault.rank,
+            vector=fault.vector,
+            **info,
         )
 
     # -------------------------------------------------- helpers for strategies

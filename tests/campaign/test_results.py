@@ -138,3 +138,56 @@ class TestAggregation:
     def test_record_from_dict_round_trip(self, small_result):
         record = small_result.records[0]
         assert CampaignRunRecord.from_dict(record.to_dict()) == record
+
+
+class TestNoDataCells:
+    """Reports render "no data" cells instead of raising.
+
+    Stored baseline files written by older revisions may carry ``null``
+    overhead fields (e.g. runs recorded before a reference existed) or
+    lack whole cells present in current results; both used to crash
+    ``campaign report``.
+    """
+
+    @pytest.fixture()
+    def degraded(self, small_result) -> CampaignResult:
+        import dataclasses
+
+        records = [
+            dataclasses.replace(
+                r, total_overhead=None, recovery_overhead=None
+            )
+            for r in small_result.records
+        ]
+        return CampaignResult(spec=small_result.spec, records=records)
+
+    def test_overhead_rows_skip_null_fields(self, degraded):
+        rows = degraded.overhead_rows()
+        assert rows
+        for row in rows:
+            assert row["total_overhead"] is None
+            assert row["recovery_overhead"] is None
+
+    def test_render_summary_shows_dash_for_null_cells(self, degraded):
+        text = degraded.render_summary()
+        assert "Total overhead [%]" in text
+        assert "-" in text
+
+    def test_compare_against_degraded_baseline(self, small_result, degraded):
+        rows = small_result.compare(degraded)
+        assert rows
+        for row in rows:
+            assert row["delta_total_overhead"] is None
+        out = small_result.render_comparison(degraded)
+        assert "vs." in out
+
+    def test_compare_against_missing_cells(self, small_result):
+        # A baseline holding only a strict subset of the cells: the
+        # unmatched rows render as "no data", not a KeyError/TypeError.
+        subset = CampaignResult(
+            spec=small_result.spec, records=small_result.records[:2]
+        )
+        rows = small_result.compare(subset)
+        assert any(row["baseline_runs"] == 0 for row in rows)
+        out = small_result.render_comparison(subset)
+        assert "vs." in out
