@@ -162,10 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_cmd = campaign_sub.add_parser(
         "submit",
         help="materialise a campaign spec as a durable on-disk task queue",
-        description="Expand a campaign spec into one claimable task file per "
-        "seeded run under the queue directory. Workers ('repro campaign "
-        "worker') on any host sharing that directory then drain it; see the "
-        "repro.queue module docstring for the layout and lease protocol.",
+        description="Expand a campaign spec into claimable tasks under the "
+        "queue directory (layout v3 batches them into per-shard segment "
+        "files). Workers ('repro campaign worker') on any host sharing that "
+        "directory then drain it; see the repro.queue module docstring for "
+        "the layout and lease protocol.",
     )
     submit_cmd.add_argument("--queue", required=True, metavar="DIR",
                             help="queue directory (must not hold a queue yet)")
@@ -188,6 +189,14 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="base of the jittered exponential backoff a "
                             "failed task sits out before it is claimable "
                             "again (default: 0.05)")
+    submit_cmd.add_argument("--layout", default="v3", choices=("v2", "v3"),
+                            help="on-disk task-store layout: v3 (default) "
+                            "batches tasks into per-shard RQS1 segments; v2 "
+                            "writes the legacy one-JSON-file-per-task store "
+                            "(both stay readable by workers and collect)")
+    submit_cmd.add_argument("--shard-size", type=int, default=None, metavar="N",
+                            help="max tasks per layout-v3 task segment "
+                            "(default: 1024; ignored under --layout v2)")
 
     worker_cmd = campaign_sub.add_parser(
         "worker",
@@ -431,12 +440,21 @@ def _cmd_campaign_queue(args: argparse.Namespace) -> int:
             args.retry_backoff if args.retry_backoff is not None
             else DEFAULT_RETRY_BACKOFF
         )
+        from .queue.store import DEFAULT_SHARD_SIZE
+
+        layout = int(args.layout.lstrip("v"))
+        shard_size = (
+            args.shard_size if args.shard_size is not None
+            else DEFAULT_SHARD_SIZE
+        )
         store = QueueStore.submit(
             spec, args.queue,
             max_attempts=max_attempts, retry_backoff=retry_backoff,
+            layout=layout, shard_size=shard_size,
         )
         print(f"campaign {spec.name!r}: {store.n_tasks} tasks submitted "
-              f"to {store.queue_dir} (max {max_attempts} attempt(s)/task)")
+              f"to {store.queue_dir} (layout v{layout}, "
+              f"max {max_attempts} attempt(s)/task)")
         print("next: repro campaign worker --queue "
               f"{store.queue_dir}  (repeat per core / host)")
         return 0

@@ -1,11 +1,12 @@
 """Durable, broker-less work queue for distributed campaign execution.
 
 Scaling a sweep past one host needs no broker: a directory on a shared
-POSIX filesystem *is* the queue.  ``submit`` turns a
-:class:`~repro.campaign.spec.CampaignSpec` into one JSON task file per
-seeded run; any number of independent worker processes (one host or
-many, as long as they see the same directory) claim tasks through
-atomic filesystem operations, execute them through the standard
+POSIX filesystem *is* the queue.  ``submit`` materialises a
+:class:`~repro.campaign.spec.CampaignSpec` as per-shard task segments
+(layout v3; one file per shard of up to 1024 tasks, not one per task);
+any number of independent worker processes (one host or many, as long
+as they see the same directory) claim tasks through atomic filesystem
+operations, execute them through the standard
 :class:`~repro.api.session.SolverSession` machinery, and stream their
 records to per-worker JSONL spools; ``collect`` merges the spools into
 a :class:`~repro.campaign.results.CampaignResult` that is
@@ -16,18 +17,24 @@ completed run.
 
 On-disk layout
 --------------
-One queue = one directory (layout version 2)::
+One queue = one directory (layout version 3)::
 
     queue_dir/
-      spec.json            # campaign spec + n_tasks + retry policy
-                           #   (written LAST by submit: its presence
-                           #   marks the store live)
-      tasks/<task_id>.json # one QueueTask per seeded RunSpec; the id is
-                           #   {index:06d}-{cfg}-{digest}: expansion
-                           #   index (sorted order == expansion order),
-                           #   sha256(config_key)[:6] (affine chunk
-                           #   grouping straight from the listing), and
-                           #   sha256(run_id)[:10] (stale-store guard)
+      spec.json            # campaign spec + n_tasks + retry policy +
+                           #   the SHARD MANIFEST: one {key, config,
+                           #   first_index, count} entry per task
+                           #   segment, so shard metadata is O(shards)
+                           #   with no directory listing.  Written
+                           #   LAST by submit: its presence marks the
+                           #   store live.
+      tasks/<first_index:06d>-<cfg>.seg
+                           # one RQS1 task segment per shard: a
+                           #   configuration-contiguous span of up to
+                           #   shard_size (default 1024) QueueTask
+                           #   payloads, length-prefixed, with a JSON
+                           #   footer carrying the shard's task ids
+                           #   and per-record byte offsets (random
+                           #   access = one seek + one read)
       leases/<task_id>.json    # live claims (see protocol below)
       reclaimed/<...>.json     # tombstones of expired leases (audit trail)
       done/<task_id>.json      # terminal marker -> spool shard holding the
@@ -37,11 +44,31 @@ One queue = one directory (layout version 2)::
       spool/<worker_id>.jsonl  # per-worker record shards (append-only)
       segments/<worker_id>-<seq>.seg  # compacted spool segments
 
+Task ids are ``{index:06d}-{cfg}-{digest}``: expansion index (id order
+== expansion order), ``sha256(config_key)[:6]`` (affine shard grouping
+and per-shard terminal bucketing straight from the id), and
+``sha256(run_id)[:10]`` (stale-store guard).  Task segments share the
+``RQS1`` format with compacted spool segments (record*, JSON footer,
+``footer_length:u32 + b"RQS1"`` trailer; see :mod:`repro.queue.segment`).
+
+Layout version 2 — one ``tasks/<task_id>.json`` file per task, no
+manifest — remains fully readable *and drainable*: every mutable
+directory (leases, markers, ledgers, spools, segments) is identical
+across layouts, task ids are identical, and a v2 store's shard view is
+synthesised from its task listing, so v3 workers run one claiming
+algorithm against both.  New submits default to v3
+(``submit --layout v2`` keeps the legacy writer available).
+
 Every payload write is atomic (same-directory temp file +
-``os.replace``), so readers never observe partial JSON.
+``os.replace``), so readers never observe partial JSON; segment
+publication additionally fsyncs file and directory entry.
 
 Lease protocol
 --------------
+Leases are per **task id** and know nothing of shards or layout — the
+protocol below is byte-identical across layouts v2 and v3.
+
+
 * **Claim** — create ``leases/<task_id>.json`` with
   ``O_CREAT | O_EXCL``.  At most one creator can succeed, which is the
   whole mutual exclusion story; there is no lock server to die.
@@ -100,20 +127,30 @@ raises — are the retry policy's.  Submit records ``max_attempts``
   under ``retried-manifests/`` before the marker is unlinked, making
   the task claimable again with a fresh attempt budget.
 
-Configuration-affine chunk claiming
+Configuration-affine shard claiming
 -----------------------------------
 Workers do not claim task-by-task in global order (which warms every
-problem configuration in every worker); they claim
-**configuration-contiguous chunks**.  The session-defining part of the
-run key (:attr:`~repro.campaign.spec.RunSpec.config_key` —
-problem/scale/nodes/preconditioner) is digested into every task id, so
-one directory listing groups the queue into chunks.  A worker picks
-the first group with claimable tasks and no live foreign lease (one
-scan per chunk boundary, reused for the progress snapshot), drains it,
-then moves on; if only foreign-active groups remain it steals from
-them rather than idle.  Affinity is a preference layered *on top of*
-the per-task lease protocol — correctness, crash recovery and collect
-byte-identity are exactly as without it.
+problem configuration in every worker); they claim **shard by shard**.
+The session-defining part of the run key
+(:attr:`~repro.campaign.spec.RunSpec.config_key` —
+problem/scale/nodes/preconditioner) is digested into every task id,
+and submit cuts the expansion order into configuration-contiguous
+shards of at most ``shard_size`` tasks, recorded in the ``spec.json``
+manifest.  Claim ordering per chunk boundary: one scan of the mutable
+directories (reused for the progress snapshot), terminal markers
+bucketed per shard by their index prefix (fully-drained shards are
+skipped without reading them), then the first shard with claimable
+tasks whose configuration holds no live foreign lease is selected and
+its remaining ids loaded from the segment footer — normally the only
+per-task metadata the selection touches.  The worker drains the shard,
+then moves on; if only foreign-active shards remain it steals from the
+first rather than idle.  Chunk selection therefore costs O(shards) on
+top of the marker scan — at 10^5+ tasks the difference between a
+listing-driven scan and a manifest read is the difference between
+hostile and flat (ROADMAP open item 2).  Affinity is a
+preference layered *on top of* the per-task lease protocol —
+correctness, crash recovery and collect byte-identity are exactly as
+without it.
 
 Compacted spool segments
 ------------------------
@@ -175,13 +212,18 @@ from .state import Lease, QueueStatus, QueueTask, TaskOutcome
 from .store import (
     DEFAULT_MAX_ATTEMPTS,
     DEFAULT_RETRY_BACKOFF,
+    DEFAULT_SHARD_SIZE,
     DEFAULT_TTL,
+    LAYOUT_VERSION,
+    SUPPORTED_LAYOUTS,
     UNSAFE_LINK_ENV,
     QueueScan,
     QueueStore,
+    TaskShard,
     config_digest,
     task_config,
     task_id_for,
+    task_index,
 )
 from .worker import (
     DEFAULT_COMPACT_EVERY,
@@ -195,14 +237,18 @@ __all__ = [
     "DEFAULT_COMPACT_EVERY",
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_RETRY_BACKOFF",
+    "DEFAULT_SHARD_SIZE",
     "DEFAULT_TTL",
+    "LAYOUT_VERSION",
     "Lease",
     "QueueScan",
     "QueueStatus",
     "QueueStore",
     "QueueTask",
     "QueueWorker",
+    "SUPPORTED_LAYOUTS",
     "TaskOutcome",
+    "TaskShard",
     "UNSAFE_LINK_ENV",
     "WorkerSummary",
     "collect",
@@ -214,4 +260,5 @@ __all__ = [
     "run_worker",
     "task_config",
     "task_id_for",
+    "task_index",
 ]

@@ -26,12 +26,12 @@ from __future__ import annotations
 import heapq
 import json
 import pathlib
-import struct
 from typing import Iterator
 
 from ..campaign.results import CampaignResult, CampaignRunRecord
 from ..exceptions import ConfigurationError
-from .store import SEGMENT_MAGIC, QueueStore
+from .segment import iter_payloads, read_footer
+from .store import QueueStore
 
 
 def iter_shard_records(shard: pathlib.Path) -> Iterator[CampaignRunRecord]:
@@ -66,23 +66,12 @@ def iter_shard_records(shard: pathlib.Path) -> Iterator[CampaignRunRecord]:
 
 
 def read_segment_footer(path: pathlib.Path) -> dict:
-    """Validate a compacted segment's trailer and return its footer index."""
-    size = path.stat().st_size
-    with path.open("rb") as handle:
-        if size < 8:
-            raise ConfigurationError(f"{path} is too short to be a segment")
-        handle.seek(size - 8)
-        footer_len, magic = struct.unpack("<I4s", handle.read(8))
-        if magic != SEGMENT_MAGIC:
-            raise ConfigurationError(
-                f"{path} lacks the {SEGMENT_MAGIC!r} segment trailer"
-            )
-        if footer_len + 8 > size:
-            raise ConfigurationError(f"{path} declares an oversized footer")
-        handle.seek(size - 8 - footer_len)
-        footer = json.loads(handle.read(footer_len))
-    footer["records_end"] = size - 8 - footer_len
-    return footer
+    """Validate a compacted segment's trailer and return its footer index.
+
+    A thin alias of :func:`repro.queue.segment.read_footer`, kept under
+    its historical name for importers.
+    """
+    return read_footer(path)
 
 
 def iter_segment_records(path: pathlib.Path) -> Iterator[CampaignRunRecord]:
@@ -90,23 +79,11 @@ def iter_segment_records(path: pathlib.Path) -> Iterator[CampaignRunRecord]:
 
     Records are length-prefixed, so the reader never holds more than
     one record in memory; the footer index is validated first, and the
-    record region must end exactly where the footer begins.
+    record region must end exactly where the footer begins (all
+    enforced by :func:`repro.queue.segment.iter_payloads`).
     """
-    footer = read_segment_footer(path)
-    with path.open("rb") as handle:
-        for _ in range(int(footer["count"])):
-            prefix = handle.read(4)
-            if len(prefix) < 4:
-                raise ConfigurationError(f"{path} is truncated mid-record")
-            (length,) = struct.unpack("<I", prefix)
-            payload = handle.read(length)
-            if len(payload) < length:
-                raise ConfigurationError(f"{path} is truncated mid-record")
-            yield CampaignRunRecord.from_dict(json.loads(payload))
-        if handle.tell() != footer["records_end"]:
-            raise ConfigurationError(
-                f"{path} record region does not match its footer index"
-            )
+    for payload in iter_payloads(path):
+        yield CampaignRunRecord.from_dict(json.loads(payload))
 
 
 def _sorted_shard_records(shard: pathlib.Path) -> list[CampaignRunRecord]:

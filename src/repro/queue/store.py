@@ -11,6 +11,7 @@ on-disk layout and the full lease protocol.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import hashlib
 import itertools
@@ -19,20 +20,42 @@ import os
 import pathlib
 import random
 import re
-import struct
 import threading
 import time
 from typing import Any, Iterator, Mapping
 
 from ..campaign.spec import CampaignSpec, RunSpec, expand_spec
 from ..exceptions import ConfigurationError
+from .segment import (
+    SEGMENT_MAGIC,
+    iter_payloads,
+    read_footer,
+    read_payload_at,
+    write_segment,
+)
 from .state import Lease, QueueStatus, QueueTask, TaskOutcome
 
-#: Store layout version stamped into ``spec.json``.  Version 2 embeds
-#: the configuration digest in every task id (affine chunk claiming),
-#: adds the ``retries/`` ledger and ``segments/`` compaction
-#: directories, and records the retry policy in ``spec.json``.
-LAYOUT_VERSION = 2
+#: Store layout version stamped into ``spec.json`` by new submits.
+#: Version 2 embeds the configuration digest in every task id (affine
+#: chunk claiming), adds the ``retries/`` ledger and ``segments/``
+#: compaction directories, and records the retry policy in
+#: ``spec.json``.  Version 3 keeps all of that but batches the task
+#: store into per-shard ``RQS1`` segments (one file per shard instead
+#: of one JSON file per task) with a shard manifest in ``spec.json``,
+#: so submit cost, claim-scan cost and inode count are O(shards), not
+#: O(tasks).
+LAYOUT_VERSION = 3
+
+#: Layout versions this code can open.  Mutable state (leases, markers,
+#: retry ledgers, spool shards, compacted segments) is identical across
+#: both, so v2 stores stay claimable and collectable by v3 workers.
+SUPPORTED_LAYOUTS = (2, 3)
+
+#: Default upper bound on tasks per layout-v3 task segment.  Shards are
+#: configuration-contiguous spans capped at this size, so a sweep with
+#: one huge configuration group still claims and scans in O(shards):
+#: chunk selection touches shard manifests, not task listings.
+DEFAULT_SHARD_SIZE = 1024
 
 #: Default lease time-to-live (seconds without a heartbeat before any
 #: worker may reclaim an in-flight task).
@@ -56,9 +79,6 @@ DEFAULT_RETRY_BACKOFF = 0.05
 #: ``O_EXCL``-equivalent ``os.link`` semantics (classic NFSv2).  Claims
 #: then refuse to run instead of silently risking double execution.
 UNSAFE_LINK_ENV = "REPRO_QUEUE_LINK_UNSAFE"
-
-#: Magic trailer of a compacted spool segment (see ``compact_shard``).
-SEGMENT_MAGIC = b"RQS1"
 
 _SUBDIRS = ("tasks", "leases", "reclaimed", "done", "failed", "retries",
             "retried-manifests", "spool", "segments")
@@ -115,11 +135,44 @@ def task_id_for(index: int, run: RunSpec) -> str:
 
 
 def task_config(task_id: str) -> str:
-    """The configuration digest embedded in a (layout v2) task id."""
+    """The configuration digest embedded in a task id (layouts v2+)."""
     parts = task_id.split("-")
     if len(parts) != 3:
         raise ConfigurationError(f"malformed task id {task_id!r}")
     return parts[1]
+
+
+def task_index(task_id: str) -> int:
+    """The expansion-index prefix embedded in a task id (layouts v2+)."""
+    prefix = task_id.split("-", 1)[0]
+    try:
+        return int(prefix)
+    except ValueError:
+        raise ConfigurationError(f"malformed task id {task_id!r}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskShard:
+    """One configuration-contiguous span of the task namespace.
+
+    Layout v3 materialises each shard as one ``RQS1`` task segment
+    under ``tasks/`` (``path`` points at it); opening a v2 store
+    derives equivalent shards from the per-task file listing (``path``
+    is ``None``) so workers run one selection algorithm against both
+    layouts.  ``key`` is unique within a store and doubles as the v3
+    segment file stem.
+    """
+
+    key: str
+    config: str
+    first_index: int
+    count: int
+    path: pathlib.Path | None = None
+
+    @property
+    def end_index(self) -> int:
+        """One past the expansion index of the shard's last task."""
+        return self.first_index + self.count
 
 
 @dataclasses.dataclass(frozen=True)
@@ -189,6 +242,15 @@ class QueueStore:
         self._spec_payload: dict[str, Any] | None = None
         self._task_ids: list[str] | None = None
         self._config_groups: list[tuple[str, list[str]]] | None = None
+        #: Immutable shard metadata (manifest or listing derived).
+        self._shards: list[TaskShard] | None = None
+        #: Per-shard task-id lists, loaded lazily (one footer read per
+        #: v3 shard, ever) — chunk selection only pays for the shards
+        #: it actually claims from.
+        self._shard_ids: dict[str, list[str]] = {}
+        #: Per-shard ``task_id -> byte offset`` indexes for the v3
+        #: random-access ``load_task`` path.
+        self._shard_offsets: dict[str, dict[str, int]] = {}
         #: Claim-scan cursor: tasks before it were terminal or leased
         #: when last visited, so the next scan starts where the last
         #: one left off (and wraps), keeping a drain O(tasks) overall
@@ -233,6 +295,8 @@ class QueueStore:
         queue_dir,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        layout: int = LAYOUT_VERSION,
+        shard_size: int = DEFAULT_SHARD_SIZE,
     ) -> "QueueStore":
         """Materialise a campaign spec as an on-disk task store.
 
@@ -246,6 +310,13 @@ class QueueStore:
         a failed task sits out before it is claimable again.  Both are
         stored in ``spec.json`` so every worker — any host, any start
         time — applies the same bound.
+
+        ``layout`` selects the on-disk task-store format: 3 (default)
+        batches tasks into configuration-contiguous ``RQS1`` segments
+        of at most ``shard_size`` tasks each; 2 writes the legacy one
+        JSON file per task (kept writable so compatibility fixtures and
+        downgrade paths stay testable).  Task *ids* are identical under
+        both, so nothing downstream of submit depends on the choice.
         """
         if max_attempts < 1:
             raise ConfigurationError(
@@ -254,6 +325,15 @@ class QueueStore:
         if retry_backoff < 0:
             raise ConfigurationError(
                 f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if layout not in SUPPORTED_LAYOUTS:
+            raise ConfigurationError(
+                f"unsupported queue layout {layout!r}; "
+                f"supported layouts: {', '.join(map(str, SUPPORTED_LAYOUTS))}"
+            )
+        if shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size must be >= 1, got {shard_size}"
             )
         store = cls(queue_dir)
         if store.spec_path.exists():
@@ -267,25 +347,82 @@ class QueueStore:
         store.queue_dir.mkdir(parents=True, exist_ok=True)
         for name in _SUBDIRS:
             store._dir(name).mkdir(exist_ok=True)
-        for index, run in enumerate(runs):
-            task = QueueTask(task_id=task_id_for(index, run), run=run)
-            _atomic_write_json(store.task_path(task.task_id), task.to_dict())
+        payload: dict[str, Any] = {
+            "version": layout,
+            "spec": spec.to_dict(),
+            "n_tasks": len(runs),
+            "retry": {
+                "max_attempts": max_attempts,
+                "backoff": retry_backoff,
+            },
+        }
+        if layout >= 3:
+            payload["shard_size"] = shard_size
+            payload["shards"] = store._write_task_segments(runs, shard_size)
+        else:
+            for index, run in enumerate(runs):
+                task = QueueTask(task_id=task_id_for(index, run), run=run)
+                _atomic_write_json(store.task_path(task.task_id), task.to_dict())
         # The spec file is written last: its presence marks the store
         # complete and claimable, so workers polling a half-submitted
         # directory see zero tasks rather than a partial sweep.
-        _atomic_write_json(
-            store.spec_path,
-            {
-                "version": LAYOUT_VERSION,
-                "spec": spec.to_dict(),
-                "n_tasks": len(runs),
-                "retry": {
-                    "max_attempts": max_attempts,
-                    "backoff": retry_backoff,
-                },
-            },
-        )
+        _atomic_write_json(store.spec_path, payload)
         return store
+
+    def _write_task_segments(
+        self, runs: list[RunSpec], shard_size: int
+    ) -> list[dict[str, Any]]:
+        """Write the layout-v3 task segments; returns the shard manifest.
+
+        Each shard is the longest configuration-contiguous run of tasks
+        no larger than ``shard_size``, published as one ``RQS1`` segment
+        ``tasks/{first_index:06d}-{config}.seg`` whose footer carries
+        the shard's task ids and per-record byte offsets (random-access
+        ``load_task`` is a seek-and-read).  Expansion keeps each
+        configuration one contiguous span, so shard boundaries never
+        split a task away from its configuration neighbours except at
+        the size cap.
+        """
+        tasks = [
+            QueueTask(task_id=task_id_for(index, run), run=run)
+            for index, run in enumerate(runs)
+        ]
+        manifest: list[dict[str, Any]] = []
+        start = 0
+        while start < len(tasks):
+            config = task_config(tasks[start].task_id)
+            end = start + 1
+            while (
+                end < len(tasks)
+                and end - start < shard_size
+                and task_config(tasks[end].task_id) == config
+            ):
+                end += 1
+            chunk = tasks[start:end]
+            key = f"{start:06d}-{config}"
+            write_segment(
+                self._dir("tasks") / f"{key}.seg",
+                [
+                    json.dumps(task.to_dict(), sort_keys=True).encode()
+                    for task in chunk
+                ],
+                {
+                    "version": 1,
+                    "kind": "tasks",
+                    "config": config,
+                    "first_index": start,
+                    "task_ids": [task.task_id for task in chunk],
+                },
+                record_offsets=True,
+            )
+            manifest.append({
+                "key": key,
+                "config": config,
+                "first_index": start,
+                "count": len(chunk),
+            })
+            start = end
+        return manifest
 
     # ------------------------------------------------------------------- spec
 
@@ -298,13 +435,20 @@ class QueueStore:
                     "(no spec.json; run 'repro campaign submit' first)"
                 )
             version = int(payload.get("version", -1))
-            if version != LAYOUT_VERSION:
+            if version not in SUPPORTED_LAYOUTS:
                 raise ConfigurationError(
-                    f"queue layout version {version} != {LAYOUT_VERSION} "
+                    f"queue layout version {version} is not supported "
+                    f"(this build reads layouts "
+                    f"{', '.join(map(str, SUPPORTED_LAYOUTS))}) "
                     f"in {self.spec_path}"
                 )
             self._spec_payload = payload
         return self._spec_payload
+
+    @property
+    def layout_version(self) -> int:
+        """The store's on-disk layout version (from ``spec.json``)."""
+        return int(self._payload()["version"])
 
     @property
     def spec_dict(self) -> dict[str, Any]:
@@ -332,27 +476,145 @@ class QueueStore:
 
     # ------------------------------------------------------------------ tasks
 
+    def shards(self) -> list[TaskShard]:
+        """The store's task shards, in expansion order.
+
+        Layout v3 reads these straight from the ``spec.json`` shard
+        manifest — O(shards) metadata with no directory listing and no
+        segment reads.  Layout v2 derives one shard per configuration
+        group from the per-task file listing (``path=None``), so every
+        caller — most importantly the worker's chunk selection — runs
+        one algorithm against both layouts.
+        """
+        if self._shards is None:
+            if self.layout_version >= 3:
+                self._shards = [
+                    TaskShard(
+                        key=str(entry["key"]),
+                        config=str(entry["config"]),
+                        first_index=int(entry["first_index"]),
+                        count=int(entry["count"]),
+                        path=self._dir("tasks") / f"{entry['key']}.seg",
+                    )
+                    for entry in self._payload()["shards"]
+                ]
+            else:
+                shards = []
+                for config, task_ids in self.config_groups():
+                    first_index = task_index(task_ids[0])
+                    shard = TaskShard(
+                        key=f"{first_index:06d}-{config}",
+                        config=config,
+                        first_index=first_index,
+                        count=len(task_ids),
+                    )
+                    self._shard_ids[shard.key] = list(task_ids)
+                    shards.append(shard)
+                self._shards = shards
+        return self._shards
+
+    def _shard_footer(self, shard: TaskShard) -> dict[str, Any]:
+        """Load (and cache) one v3 shard's footer index."""
+        footer = read_footer(shard.path)
+        task_ids = [str(task_id) for task_id in footer["task_ids"]]
+        offsets = [int(offset) for offset in footer["offsets"]]
+        if len(task_ids) != shard.count or len(offsets) != shard.count:
+            raise ConfigurationError(
+                f"{shard.path} footer disagrees with the shard manifest "
+                f"({len(task_ids)} task ids vs {shard.count} manifested)"
+            )
+        self._shard_ids[shard.key] = task_ids
+        self._shard_offsets[shard.key] = dict(zip(task_ids, offsets))
+        return footer
+
+    def shard_task_ids(self, shard: TaskShard) -> list[str]:
+        """The shard's task ids, in expansion order (footer-cached)."""
+        if shard.key not in self._shard_ids:
+            self._shard_footer(shard)
+        return self._shard_ids[shard.key]
+
+    def shard_for_task(self, task_id: str) -> TaskShard | None:
+        """The shard covering ``task_id``'s expansion index, if any."""
+        shards = self.shards()
+        try:
+            index = task_index(task_id)
+        except ConfigurationError:
+            return None
+        position = bisect.bisect_right(
+            [shard.first_index for shard in shards], index
+        )
+        if position == 0:
+            return None
+        shard = shards[position - 1]
+        return shard if index < shard.end_index else None
+
+    def shard_terminal_counts(
+        self, terminal_ids: frozenset[str] | set[str]
+    ) -> dict[str, int]:
+        """How many of ``terminal_ids`` land in each shard (by key).
+
+        Buckets by the expansion-index prefix alone — O(terminal ·
+        log shards), no task ids loaded — so chunk selection can skip
+        fully-drained shards without ever reading their segments.
+        """
+        counts: dict[str, int] = {}
+        for task_id in terminal_ids:
+            shard = self.shard_for_task(task_id)
+            if shard is not None:
+                counts[shard.key] = counts.get(shard.key, 0) + 1
+        return counts
+
     def task_ids(self) -> list[str]:
         """All task ids, in deterministic (= expansion) order.
 
         Cached per handle: the task set is immutable once ``spec.json``
-        exists (submit writes it last), so one directory listing
-        serves every later claim scan.
+        exists (submit writes it last), so one directory listing (v2)
+        or one footer read per shard (v3) serves every later use.
         """
         if self._task_ids is None:
             self._payload()  # validate the store exists first
-            self._task_ids = sorted(
-                p.stem for p in self._dir("tasks").glob("*.json")
-            )
+            if self.layout_version >= 3:
+                self._task_ids = [
+                    task_id
+                    for shard in self.shards()
+                    for task_id in self.shard_task_ids(shard)
+                ]
+            else:
+                self._task_ids = sorted(
+                    p.stem for p in self._dir("tasks").glob("*.json")
+                )
         return self._task_ids
 
     def load_task(self, task_id: str) -> QueueTask:
+        """Load one task payload (v3: a footer-indexed seek-and-read)."""
+        if self.layout_version >= 3:
+            shard = self.shard_for_task(task_id)
+            if shard is not None and shard.key not in self._shard_offsets:
+                self._shard_footer(shard)
+            offset = (
+                self._shard_offsets[shard.key].get(task_id)
+                if shard is not None else None
+            )
+            if offset is None:
+                raise ConfigurationError(
+                    f"unknown task {task_id!r} in {self.queue_dir}"
+                )
+            return QueueTask.from_dict(
+                json.loads(read_payload_at(shard.path, offset))
+            )
         payload = _read_json(self.task_path(task_id))
         if payload is None:
             raise ConfigurationError(f"unknown task {task_id!r} in {self.queue_dir}")
         return QueueTask.from_dict(payload)
 
     def iter_tasks(self) -> Iterator[QueueTask]:
+        """Stream every task in expansion order (v3: sequential segment
+        reads, never one seek per task)."""
+        if self.layout_version >= 3:
+            for shard in self.shards():
+                for payload in iter_payloads(shard.path):
+                    yield QueueTask.from_dict(json.loads(payload))
+            return
         for task_id in self.task_ids():
             yield self.load_task(task_id)
 
@@ -367,12 +629,17 @@ class QueueStore:
 
         One ``(config digest, task ids)`` pair per distinct
         :attr:`~repro.campaign.spec.RunSpec.config_key`, in expansion
-        order.  Derived purely from the cached task-id listing (the
-        digest is embedded in every task id), so grouping a million-run
-        queue costs one directory listing, not a million JSON reads.
-        Expansion nests the sweep axes with the configuration axes
-        outermost, so each group is one contiguous span of the task
-        order.
+        order.  Derived from the cached task-id listing (the digest is
+        embedded in every task id), so grouping costs one directory
+        listing (v2) or the shard footers (v3), never a JSON read per
+        task.  Expansion nests the sweep axes with the configuration
+        axes outermost, so each group is one contiguous span of the
+        task order.
+
+        Note the difference from :meth:`shards`: a group is a whole
+        configuration span; a v3 shard is a size-capped slice of one.
+        Chunk *selection* works on shards; this view serves summary
+        tooling and tests that reason about whole configurations.
         """
         if self._config_groups is None:
             groups: list[tuple[str, list[str]]] = []
@@ -715,36 +982,23 @@ class QueueStore:
         seq = (
             int(existing[-1].stem.rsplit("-", 1)[1]) + 1 if existing else 0
         )
-        path = self._dir("segments") / f"{worker_id}-{seq:06d}.seg"
-        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
-        with tmp.open("wb") as handle:
-            for _, payload in entries:
-                handle.write(struct.pack("<I", len(payload)))
-                handle.write(payload)
-            footer = json.dumps({
+        # write_segment publishes atomically and fsyncs both the file
+        # and the directory entry before returning: without the latter
+        # a power loss could make the (fsynced) shard truncate durable
+        # while the segment's rename is not — destroying both copies of
+        # the batch.  Process death alone can't produce that ordering
+        # (the page cache survives), which is exactly why the SIGKILL
+        # chaos harness cannot substitute for that fsync.
+        path = write_segment(
+            self._dir("segments") / f"{worker_id}-{seq:06d}.seg",
+            [payload for _, payload in entries],
+            {
                 "version": 1,
                 "worker_id": worker_id,
-                "count": len(entries),
                 "first_run_id": entries[0][0],
                 "last_run_id": entries[-1][0],
-            }, sort_keys=True).encode()
-            handle.write(footer)
-            handle.write(struct.pack("<I", len(footer)))
-            handle.write(SEGMENT_MAGIC)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        # fsync the directory entry too: without it a power loss could
-        # make the (fsynced) shard truncate durable while the segment's
-        # rename is not — destroying both copies of the batch.  Process
-        # death alone can't produce that ordering (the page cache
-        # survives), which is exactly why the SIGKILL chaos harness
-        # cannot substitute for this line.
-        dir_fd = os.open(self._dir("segments"), os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
+            },
+        )
         if self._compact_pause:
             time.sleep(self._compact_pause)
         with shard.open("r+b") as handle:
@@ -894,8 +1148,15 @@ class QueueStore:
         validate_worker_id(requeued_by)
         resurrected: list[TaskOutcome] = []
         for outcome in self.failed_outcomes():
-            existing = self.manifests_dir().glob(f"{outcome.task_id}.*.json")
-            seq = len(list(existing))
+            # Next sequence number = max existing + 1, never the file
+            # *count*: a gapped sequence (an operator pruned task.01
+            # but kept task.00 and task.02) must allocate task.03, not
+            # silently overwrite the surviving task.02 manifest.
+            seqs = [
+                int(path.stem.rsplit(".", 1)[1])
+                for path in self.manifests_dir().glob(f"{outcome.task_id}.*.json")
+            ]
+            seq = max(seqs) + 1 if seqs else 0
             manifest = self.manifests_dir() / f"{outcome.task_id}.{seq:02d}.json"
             _atomic_write_json(manifest, {
                 "task_id": outcome.task_id,
@@ -991,14 +1252,18 @@ class QueueStore:
 __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_RETRY_BACKOFF",
+    "DEFAULT_SHARD_SIZE",
     "DEFAULT_TTL",
     "LAYOUT_VERSION",
     "QueueScan",
     "QueueStore",
     "SEGMENT_MAGIC",
+    "SUPPORTED_LAYOUTS",
+    "TaskShard",
     "UNSAFE_LINK_ENV",
     "config_digest",
     "task_config",
     "task_id_for",
+    "task_index",
     "validate_worker_id",
 ]

@@ -15,11 +15,13 @@ worker is exactly as fast per task as a process-pool worker.
 Configuration-affine claiming
 -----------------------------
 By default a worker drains the queue **chunk by chunk** rather than
-task by task: it picks one configuration group (tasks sharing a
-:attr:`~repro.campaign.spec.RunSpec.config_key`, contiguous in the
-task order and identifiable from the task id alone), preferring groups
-no other live worker is active in, and claims every remaining task of
-that group before scanning for the next.  Per-task leases stay the
+task by task: it picks one task shard (a configuration-contiguous
+span of the task order — tasks sharing a
+:attr:`~repro.campaign.spec.RunSpec.config_key`, capped at the
+submit-time shard size and identifiable from shard metadata alone),
+preferring shards whose configuration no other live worker is active
+in, and claims every remaining task of that shard before scanning for
+the next.  Per-task leases stay the
 only mutual-exclusion mechanism — affinity is a *preference*, so crash
 recovery, work stealing at the tail (when only foreign-active groups
 remain) and byte-identical collects are untouched.  What changes is
@@ -257,14 +259,21 @@ class QueueWorker:
         return None
 
     def _select_chunk(self) -> bool:
-        """Pick the next configuration chunk (one scan, reused for status).
+        """Pick the next task shard (one scan, reused for status).
 
-        Preference order: the first configuration group with claimable
-        tasks and **no live foreign lease** (a group another worker is
-        actively draining is someone else's warm session); if every
-        remaining group is foreign-active, steal from the first one
-        anyway — an idle worker at the sweep's tail is worse than a
-        redundant warm-up.
+        Preference order: the first shard with claimable tasks whose
+        configuration has **no live foreign lease** (a configuration
+        another worker is actively draining is someone else's warm
+        session); if every remaining shard is foreign-active, steal
+        from the first one anyway — an idle worker at the sweep's tail
+        is worse than a redundant warm-up.
+
+        Cost is O(shards) on top of the directory scan, not O(tasks):
+        shard metadata comes from the manifest, terminal markers are
+        bucketed per shard by their index prefix, fully-drained shards
+        are skipped without loading their ids, and task ids are
+        loaded (one footer read, cached) only for shards actually
+        inspected — normally just the one selected.
         """
         scan = self.store.scan()
         self._refresh_status(scan)
@@ -273,14 +282,23 @@ class QueueWorker:
             for task_id, lease in scan.leases.items()
             if lease.worker_id != self.worker_id and not lease.expired(scan.now)
         }
+        terminal_counts = self.store.shard_terminal_counts(scan.terminal_ids)
         fallback: list[str] | None = None
-        for config, task_ids in self.store.config_groups():
-            remaining = [t for t in task_ids if t not in scan.terminal_ids]
+        for shard in self.store.shards():
+            if terminal_counts.get(shard.key, 0) >= shard.count:
+                continue  # fully drained: skip without reading ids
+            foreign = shard.config in foreign_configs
+            if foreign and fallback is not None:
+                continue  # a steal candidate is already in hand
+            remaining = [
+                task_id
+                for task_id in self.store.shard_task_ids(shard)
+                if task_id not in scan.terminal_ids
+            ]
             if not remaining:
                 continue
-            if config in foreign_configs:
-                if fallback is None:
-                    fallback = remaining
+            if foreign:
+                fallback = remaining
                 continue
             self._chunk = collections.deque(remaining)
             return True

@@ -76,6 +76,12 @@ class ChaosPlan:
     #: Tasks pre-claimed by ghosts whose leases must expire + reclaim.
     ghost_leases: int
     affine: bool
+    #: Task-store layout the schedule submits with (3 = sharded
+    #: segments, 2 = legacy per-task files — the compat pin).
+    layout: int = 3
+    #: Max tasks per v3 task segment; small values force multiple
+    #: shards per configuration group, exercising shard-wise claiming.
+    shard_size: int = 1024
 
     @property
     def dead_runs(self) -> frozenset[str]:
@@ -110,6 +116,7 @@ def make_plan(seed: int, spec: CampaignSpec) -> ChaosPlan:
         injected=injected,
         ghost_leases=rng.randint(0, 2),
         affine=rng.random() < 0.7,
+        shard_size=rng.choice((3, 5, 1024)),
     )
 
 
@@ -206,7 +213,10 @@ def run_schedule(
 ) -> None:
     """Execute one schedule end to end and assert the queue contract."""
     queue_dir = tmp_path / f"chaos-{plan.seed}"
-    store = QueueStore.submit(spec, queue_dir, max_attempts=MAX_ATTEMPTS)
+    store = QueueStore.submit(
+        spec, queue_dir, max_attempts=MAX_ATTEMPTS,
+        layout=plan.layout, shard_size=plan.shard_size,
+    )
 
     # Lease expiry: ghosts claim tasks and vanish without heartbeating.
     for index in range(plan.ghost_leases):

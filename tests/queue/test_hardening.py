@@ -505,6 +505,28 @@ class TestRetryDeadLetters:
         task_id = store.task_ids()[0]
         assert names == [f"{task_id}.00.json", f"{task_id}.01.json"]
 
+    def test_gapped_manifest_sequence_never_clobbers(self, spec, tmp_path):
+        # Regression: the next manifest sequence number must be
+        # max-existing + 1, never the file *count*.  With task.00 and
+        # task.02 on disk (an operator pruned task.01), counting would
+        # allocate "02" and silently overwrite the surviving manifest.
+        store = QueueStore.submit(spec, tmp_path / "queue", max_attempts=1)
+        task = store.try_claim_task(store.task_ids()[0], "w1", ttl=60)
+        assert store.record_failure(task, "w1", "boom") is not None
+        preexisting = {
+            f"{task.task_id}.00.json": '{"marker": "zero"}\n',
+            f"{task.task_id}.02.json": '{"marker": "two"}\n',
+        }
+        for name, body in preexisting.items():
+            (store.manifests_dir() / name).write_text(body)
+
+        assert len(store.retry_dead_letters()) == 1
+
+        names = sorted(p.name for p in store.manifests_dir().glob("*.json"))
+        assert names == sorted(preexisting) + [f"{task.task_id}.03.json"]
+        for name, body in preexisting.items():
+            assert (store.manifests_dir() / name).read_text() == body
+
     def test_no_dead_letters_is_a_no_op(self, spec, tmp_path):
         store = QueueStore.submit(spec, tmp_path / "queue")
         assert store.retry_dead_letters() == []

@@ -48,6 +48,75 @@ class TestSubmit:
             QueueStore(store.queue_dir).task_ids()
 
 
+class TestShardedLayout:
+    """Layout v3: per-shard task segments + the spec.json manifest."""
+
+    def test_manifest_matches_segments_and_bounds(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "q", shard_size=3)
+        shards = store.shards()
+        assert all(shard.count <= 3 for shard in shards)
+        assert sum(shard.count for shard in shards) == store.n_tasks
+        # Shards tile the expansion order exactly, in order.
+        next_index = 0
+        for shard in shards:
+            assert shard.first_index == next_index
+            next_index = shard.end_index
+        # One segment file per manifest entry, and nothing per-task.
+        stems = sorted(p.stem for p in (tmp_path / "q" / "tasks").glob("*.seg"))
+        assert stems == sorted(shard.key for shard in shards)
+        assert not list((tmp_path / "q" / "tasks").glob("*.json"))
+
+    def test_shards_are_configuration_pure(self, spec, tmp_path):
+        from repro.queue import task_config
+
+        store = QueueStore.submit(spec, tmp_path / "q", shard_size=2)
+        for shard in store.shards():
+            assert {
+                task_config(task_id)
+                for task_id in store.shard_task_ids(shard)
+            } == {shard.config}
+
+    def test_random_access_load_matches_streaming(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "q", shard_size=2)
+        streamed = {task.task_id: task for task in store.iter_tasks()}
+        assert set(streamed) == set(store.task_ids())
+        # A fresh handle per lookup: load_task must not depend on any
+        # state warmed by iter_tasks.
+        for task_id, task in streamed.items():
+            assert QueueStore(store.queue_dir).load_task(task_id) == task
+
+    def test_unknown_task_rejected(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "q")
+        with pytest.raises(ConfigurationError, match="unknown task"):
+            store.load_task("999999-abcdef-0123456789")
+        with pytest.raises(ConfigurationError, match="unknown task"):
+            store.load_task("not-a-task")
+
+    def test_shard_for_task_and_terminal_counts(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "q", shard_size=2)
+        ids = store.task_ids()
+        for task_id in ids:
+            shard = store.shard_for_task(task_id)
+            assert shard is not None
+            assert task_id in store.shard_task_ids(shard)
+        assert store.shard_for_task("999999-abcdef-0123456789") is None
+        counts = store.shard_terminal_counts(frozenset(ids[:3]))
+        assert sum(counts.values()) == 3
+
+    def test_manifest_footer_mismatch_detected(self, spec, tmp_path):
+        store = QueueStore.submit(spec, tmp_path / "q", shard_size=2)
+        payload = json.loads(store.spec_path.read_text())
+        payload["shards"][0]["count"] += 1
+        store.spec_path.write_text(json.dumps(payload))
+        fresh = QueueStore(store.queue_dir)
+        with pytest.raises(ConfigurationError, match="disagrees with the shard manifest"):
+            fresh.shard_task_ids(fresh.shards()[0])
+
+    def test_shard_size_validated(self, spec, tmp_path):
+        with pytest.raises(ConfigurationError, match="shard_size"):
+            QueueStore.submit(spec, tmp_path / "q", shard_size=0)
+
+
 class TestClaim:
     def test_claims_follow_task_order(self, store):
         first = store.claim("w1", ttl=60)
